@@ -1,0 +1,108 @@
+// Ablation study for the design choices DESIGN.md calls out:
+//  (1) 2-hop exact subspace ON vs OFF — rank quality and false zeros
+//      (Lemma 19 / Claim 8's variance reduction),
+//  (2) balanced bidirectional vs unidirectional BFS in Gen_bc — sampling
+//      cost (Lemma 21),
+//  (3) bi-component (ISP) sampling vs plain whole-graph path sampling —
+//      sample budget via the VC bound (Table I) and wasted samples,
+//  (4) adaptive empirical-Bernstein stopping vs the static VC-bound budget.
+
+#include <cstdio>
+
+#include "baselines/kadabra.h"
+#include "bc/saphyra_bc.h"
+#include "bc/vc_bc.h"
+#include "bench_util.h"
+#include "metrics/rank.h"
+#include "stats/vc.h"
+
+using namespace saphyra;
+using namespace saphyra::bench;
+
+int main() {
+  const double eps = 0.05, delta = 0.01;
+  const int kSubsets = 8;
+  const size_t kSubsetSize = 100;
+  CsvWriter csv("bench_ablation.csv",
+                "network,variant,rank_corr,false_zeros,samples,seconds");
+
+  for (const BenchNetwork& net : AllNetworks()) {
+    IspIndex isp(net.graph);
+    std::vector<double> truth = GroundTruth(net);
+    PrintHeader("Ablation on " + net.name);
+    std::printf("%-34s %10s %12s %12s %10s\n", "variant", "rank corr",
+                "false zeros", "samples", "time (s)");
+
+    struct Variant {
+      const char* name;
+      bool exact;
+      SamplingStrategy strategy;
+    };
+    const Variant variants[] = {
+        {"full SaPHyRa_bc (exact + bidir)", true,
+         SamplingStrategy::kBidirectional},
+        {"no exact subspace", false, SamplingStrategy::kBidirectional},
+        {"unidirectional sampling", true, SamplingStrategy::kUnidirectional},
+    };
+    for (const Variant& var : variants) {
+      TrialAggregate corr, samples, secs;
+      uint64_t false_zeros = 0, total_nodes = 0;
+      for (int s = 0; s < kSubsets; ++s) {
+        auto targets = RandomSubset(net.graph, kSubsetSize, 1300 + s);
+        auto truth_sub = Restrict(truth, targets);
+        SaphyraBcOptions opts;
+        opts.epsilon = eps;
+        opts.delta = delta;
+        opts.seed = 1400 + s;
+        opts.use_exact_subspace = var.exact;
+        opts.strategy = var.strategy;
+        Timer t;
+        SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+        secs.Add(t.ElapsedSeconds());
+        corr.Add(SpearmanCorrelation(truth_sub, res.bc));
+        samples.Add(static_cast<double>(res.samples_used));
+        ZeroStats z = ClassifyZeros(truth_sub, res.bc);
+        false_zeros += z.false_zeros;
+        total_nodes += targets.size();
+      }
+      std::printf("%-34s %10.3f %11.2f%% %12.0f %10.4f\n", var.name,
+                  corr.mean(), 100.0 * false_zeros / total_nodes,
+                  samples.mean(), secs.mean());
+      csv.Row("%s,%s,%.4f,%.4f,%.0f,%.5f", net.name.c_str(), var.name,
+              corr.mean(), 100.0 * false_zeros / total_nodes, samples.mean(),
+              secs.mean());
+    }
+
+    // (3) The VC-bound side of bi-component sampling: compare the sample
+    // caps implied by the whole-graph diameter (baselines) and the
+    // personalized bound (SaPHyRa) at this epsilon.
+    PersonalizedSpace space(isp, RandomSubset(net.graph, kSubsetSize, 4444));
+    double vc_riondato = RiondatoVcBound(net.graph);
+    double vc_pers = ComputePersonalizedVcBounds(space).vc_bound;
+    uint64_t cap_riondato = VcSampleBound(eps, delta, vc_riondato);
+    uint64_t cap_pers = VcSampleBound(eps, delta, vc_pers);
+    std::printf(
+        "%-34s VC %.0f -> cap %llu samples\n%-34s VC %.0f -> cap %llu "
+        "samples\n",
+        "whole-graph diameter bound [45]", vc_riondato,
+        static_cast<unsigned long long>(cap_riondato),
+        "personalized bi-component bound", vc_pers,
+        static_cast<unsigned long long>(cap_pers));
+
+    // (4) Adaptive stopping: how much of the worst-case budget was spent.
+    SaphyraBcOptions opts;
+    opts.epsilon = eps;
+    opts.delta = delta;
+    opts.seed = 4545;
+    SaphyraBcResult res =
+        RunSaphyraBc(isp, RandomSubset(net.graph, kSubsetSize, 4646), opts);
+    std::printf("%-34s used %llu of max %llu (%.1f%%), stopped early: %s\n",
+                "adaptive Bernstein stopping",
+                static_cast<unsigned long long>(res.samples_used),
+                static_cast<unsigned long long>(res.max_samples),
+                100.0 * res.samples_used /
+                    std::max<uint64_t>(1, res.max_samples),
+                res.stopped_early ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces the paper's USA-road case study (Fig. 7 + Table III): four
+// geographic areas of increasing size play the roles of NYC, BAY, CO and FL
+// (Table III), ranked by KADABRA, SaPHyRa_bc-full and SaPHyRa_bc.
+// Reported per area: the Table III summary, running time (Fig. 7b), rank
+// correlation (Fig. 7c) and average rank deviation (Fig. 7a).
+//
+// Expected shape: SaPHyRa beats KADABRA on both time and rank quality, and
+// SaPHyRa's time shrinks with the area size (the paper: 105s for FL down to
+// 59.4s for NYC).
+
+#include <cstdio>
+
+#include "baselines/kadabra.h"
+#include "bc/saphyra_bc.h"
+#include "bench_util.h"
+#include "metrics/rank.h"
+
+using namespace saphyra;
+using namespace saphyra::bench;
+
+namespace {
+
+struct Area {
+  const char* name;
+  float x0, y0, x1, y1;
+};
+
+uint64_t EdgesWithin(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<uint8_t> in(g.num_nodes(), 0);
+  for (NodeId v : nodes) in[v] = 1;
+  uint64_t m = 0;
+  for (NodeId v : nodes) {
+    for (NodeId u : g.neighbors(v)) m += (u > v && in[u]);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  BenchNetwork net = MakeUsaRoadS();
+  RoadNetwork road;
+  road.graph = std::move(net.graph);
+  road.x = std::move(net.x);
+  road.y = std::move(net.y);
+  IspIndex isp(road.graph);
+  BenchNetwork gt_net{"usa-road-s", std::move(road.graph), {}, {}};
+  std::vector<double> truth = GroundTruth(gt_net);
+  road.graph = std::move(gt_net.graph);
+
+  // Areas ordered from largest (FL) to smallest (NYC), as in Table III.
+  const std::vector<Area> areas = {
+      {"FL", 0, 0, 70, 65},
+      {"CO", 10, 10, 55, 50},
+      {"BAY", 20, 20, 52, 45},
+      {"NYC", 30, 25, 55, 42},
+  };
+
+  PrintHeader("Table III + Fig. 7: road-network case study");
+  std::printf("%-6s %10s %10s | %10s %12s %12s | %10s %10s | %10s %10s\n",
+              "Area", "#Nodes", "#Edges", "KAD t(s)", "SaP-full t",
+              "SaPHyRa t", "KAD rs", "SaP rs", "KAD rkdev", "SaP rkdev");
+  CsvWriter csv("bench_fig7_road_case_study.csv",
+                "area,nodes,edges,kadabra_s,saphyra_full_s,saphyra_s,"
+                "kadabra_rs,saphyra_full_rs,saphyra_rs,kadabra_rkdev,"
+                "saphyra_rkdev");
+  const double eps = 0.05, delta = 0.01;
+
+  // Whole-network runs once (they cannot personalize).
+  Timer t;
+  KadabraOptions kopts;
+  kopts.epsilon = eps;
+  kopts.delta = delta;
+  kopts.seed = 71;
+  t.Restart();
+  KadabraResult kad = RunKadabra(road.graph, kopts);
+  double kad_s = t.ElapsedSeconds();
+
+  SaphyraBcOptions fopts;
+  fopts.epsilon = eps;
+  fopts.delta = delta;
+  fopts.seed = 72;
+  t.Restart();
+  SaphyraBcResult full = RunSaphyraBcFull(isp, fopts);
+  double full_s = t.ElapsedSeconds();
+
+  for (const Area& area : areas) {
+    auto targets = NodesInRectangle(road, area.x0, area.y0, area.x1, area.y1);
+    if (targets.size() < 2) continue;
+    uint64_t area_edges = EdgesWithin(road.graph, targets);
+    auto truth_sub = Restrict(truth, targets);
+
+    SaphyraBcOptions sopts;
+    sopts.epsilon = eps;
+    sopts.delta = delta;
+    sopts.seed = 73;
+    t.Restart();
+    SaphyraBcResult sres = RunSaphyraBc(isp, targets, sopts);
+    double sap_s = t.ElapsedSeconds();
+
+    auto kad_sub = Restrict(kad.bc, targets);
+    auto full_sub = Restrict(full.bc, targets);
+    double kad_rs = SpearmanCorrelation(truth_sub, kad_sub);
+    double full_rs = SpearmanCorrelation(truth_sub, full_sub);
+    double sap_rs = SpearmanCorrelation(truth_sub, sres.bc);
+    double kad_dev = RankDeviation(truth_sub, kad_sub);
+    double sap_dev = RankDeviation(truth_sub, sres.bc);
+
+    std::printf(
+        "%-6s %10zu %10llu | %10.3f %12.3f %12.3f | %10.3f %10.3f | %9.1f%% "
+        "%9.1f%%\n",
+        area.name, targets.size(), (unsigned long long)area_edges, kad_s,
+        full_s, sap_s, kad_rs, sap_rs, 100.0 * kad_dev, 100.0 * sap_dev);
+    csv.Row("%s,%zu,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f", area.name,
+            targets.size(), (unsigned long long)area_edges, kad_s, full_s,
+            sap_s, kad_rs, full_rs, sap_rs, kad_dev, sap_dev);
+  }
+  std::printf(
+      "\nExpected shape: SaPHyRa per-area time far below the whole-network "
+      "runs and shrinking with\narea size; SaPHyRa rank correlation above "
+      "KADABRA's; rank deviation far below KADABRA's\n(the paper: <=12%% vs "
+      "up to 39%%).\n");
+  return 0;
+}

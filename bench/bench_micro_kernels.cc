@@ -1,0 +1,139 @@
+// Google-benchmark micro suite for the kernels the estimators spend their
+// time in: BFS, biconnected decomposition, block-cut-tree construction,
+// uniform path sampling (both strategies), one Brandes source, and the
+// Exact_bc 2-hop pass.
+
+#include <benchmark/benchmark.h>
+
+#include "bc/brandes.h"
+#include "bc/exact_subspace.h"
+#include "bc/path_sampler.h"
+#include "bench_util.h"
+#include "bicomp/isp.h"
+#include "graph/bfs.h"
+
+using namespace saphyra;
+using namespace saphyra::bench;
+
+namespace {
+
+const Graph& SocialFixture() {
+  static Graph g = SocialGraph(20000, 0.3, 5, 900);
+  return g;
+}
+
+const Graph& RoadFixture() {
+  static Graph g = RoadGrid(150, 120, 0.85, 901).graph;
+  return g;
+}
+
+const IspIndex& SocialIsp() {
+  static IspIndex isp(SocialFixture());
+  return isp;
+}
+
+const IspIndex& RoadIsp() {
+  static IspIndex isp(RoadFixture());
+  return isp;
+}
+
+void BM_BfsSocial(benchmark::State& state) {
+  const Graph& g = SocialFixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(Bfs(g, s));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BfsSocial);
+
+void BM_BfsWithCountsSocial(benchmark::State& state) {
+  const Graph& g = SocialFixture();
+  Rng rng(2);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(BfsWithCounts(g, s));
+  }
+}
+BENCHMARK(BM_BfsWithCountsSocial);
+
+void BM_BiconnectedDecomposition(benchmark::State& state) {
+  const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBiconnectedComponents(g));
+  }
+}
+BENCHMARK(BM_BiconnectedDecomposition)->Arg(0)->Arg(1);
+
+void BM_IspIndexBuild(benchmark::State& state) {
+  const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();
+  for (auto _ : state) {
+    IspIndex isp(g);
+    benchmark::DoNotOptimize(isp.gamma());
+  }
+}
+BENCHMARK(BM_IspIndexBuild)->Arg(0)->Arg(1);
+
+template <SamplingStrategy strategy>
+void BM_PathSample(benchmark::State& state) {
+  const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();
+  PathSampler sampler(g, nullptr);
+  Rng rng(3);
+  PathSample path;
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    if (s == t) continue;
+    sampler.SampleUniformPath(s, t, kInvalidComp, strategy, &rng, &path);
+    benchmark::DoNotOptimize(path.num_paths);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathSample<SamplingStrategy::kBidirectional>)->Arg(0)->Arg(1);
+BENCHMARK(BM_PathSample<SamplingStrategy::kUnidirectional>)->Arg(0)->Arg(1);
+
+void BM_GenBcSample(benchmark::State& state) {
+  const IspIndex& isp = state.range(0) == 0 ? SocialIsp() : RoadIsp();
+  PersonalizedSpace space(isp,
+                          RandomSubset(isp.graph(), 100, 42));
+  PathSampler sampler(isp.graph(), &isp.bcc().arc_component);
+  Rng rng(4);
+  PathSample path;
+  for (auto _ : state) {
+    uint32_t c = space.SampleComponent(&rng);
+    NodeId s = isp.SampleSource(c, &rng);
+    NodeId t = isp.SampleTarget(c, s, &rng);
+    sampler.SampleUniformPath(s, t, c, SamplingStrategy::kBidirectional,
+                              &rng, &path);
+    benchmark::DoNotOptimize(path.length);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenBcSample)->Arg(0)->Arg(1);
+
+void BM_BrandesSingleSource(benchmark::State& state) {
+  const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();
+  // One full Brandes over a graph scaled down to make a per-source figure.
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    NodeId s = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(BfsWithCounts(g, s));
+  }
+}
+BENCHMARK(BM_BrandesSingleSource)->Arg(0)->Arg(1);
+
+void BM_ExactSubspace(benchmark::State& state) {
+  const IspIndex& isp = state.range(0) == 0 ? SocialIsp() : RoadIsp();
+  PersonalizedSpace space(isp, RandomSubset(isp.graph(), 100, 77));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeExactSubspace(space));
+  }
+}
+BENCHMARK(BM_ExactSubspace)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Reproduces Table I of the paper: VC-dimension bounds of Riondato et
+// al. [45] vs SaPHyRa_bc on (a) the full network, (b) a random subset A,
+// (c) l-hop neighborhoods. Smaller is better: the bound multiplies the
+// sample budget (Lemma 4).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bc/vc_bc.h"
+#include "bench_util.h"
+#include "bicomp/isp.h"
+#include "graph/bfs.h"
+
+using namespace saphyra;
+using namespace saphyra::bench;
+
+namespace {
+
+std::vector<NodeId> LHopBall(const Graph& g, NodeId center, uint32_t l) {
+  BfsResult r = Bfs(g, center);
+  std::vector<NodeId> ball;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.dist[v] != kUnreachable && r.dist[v] <= l) ball.push_back(v);
+  }
+  return ball;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table I: VC-dimension bounds (lower is better)");
+  std::printf("%-16s %14s | %14s %14s %14s\n", "Network",
+              "Riondato[45]", "SaPHyRa full", "SaPHyRa A=100",
+              "SaPHyRa 2-hop");
+  CsvWriter csv("bench_table1_vc_bounds.csv",
+                "network,riondato,saphyra_full,saphyra_subset,saphyra_2hop");
+  for (const BenchNetwork& net : AllNetworks()) {
+    IspIndex isp(net.graph);
+    double riondato = RiondatoVcBound(net.graph);
+    double full = FullNetworkVcBound(isp);
+
+    // Random subsets of 100 nodes: report the mean personalized bound.
+    double subset_bound = 0.0;
+    const int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      PersonalizedSpace space(isp, RandomSubset(net.graph, 100, 7000 + t));
+      subset_bound += ComputePersonalizedVcBounds(space).vc_bound;
+    }
+    subset_bound /= kTrials;
+
+    // l-hop neighborhoods (l = 2): Table I predicts <= log2(2l+1)+1.
+    double hop_bound = 0.0;
+    int hops = 0;
+    Rng rng(55);
+    for (int t = 0; t < kTrials; ++t) {
+      NodeId center =
+          static_cast<NodeId>(rng.UniformInt(net.graph.num_nodes()));
+      auto ball = LHopBall(net.graph, center, 2);
+      if (ball.size() < 2) continue;
+      if (ball.size() > 4000) ball.resize(4000);  // keep the bench snappy
+      PersonalizedSpace space(isp, ball);
+      hop_bound += ComputePersonalizedVcBounds(space).vc_bound;
+      ++hops;
+    }
+    if (hops > 0) hop_bound /= hops;
+
+    std::printf("%-16s %14.1f | %14.1f %14.2f %14.2f\n", net.name.c_str(),
+                riondato, full, subset_bound, hop_bound);
+    csv.Row("%s,%.2f,%.2f,%.2f,%.2f", net.name.c_str(), riondato, full,
+            subset_bound, hop_bound);
+  }
+  std::printf(
+      "\nExpected shape (paper, Table I): SaPHyRa's bi-component bound is no "
+      "larger than the\nRiondato diameter bound — dramatically smaller on "
+      "road networks (many small bi-components) —\nand the personalized "
+      "bounds shrink further for localized subsets (l-hop: <= log2(2l+1)+1 = "
+      "%.0f for l=2).\n",
+      std::floor(std::log2(5.0)) + 1.0);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// k-path centrality with the generic SaPHyRa framework — the paper's other
+// worked example of a sampling-estimable centrality (§II-A), and a
+// demonstration that the sample-space partition is not specific to
+// betweenness: here the exact subspace is the (closed-form) set of 1-hop
+// walks and the approximate subspace is everything longer.
+//
+//   $ ./examples/kpath_centrality [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/generators.h"
+#include "kpath/kpath.h"
+#include "metrics/rank.h"
+
+using namespace saphyra;
+
+int main(int argc, char** argv) {
+  const uint32_t k = argc > 1 ? std::atoi(argv[1]) : 5;
+  Graph g = WattsStrogatz(3000, 6, 0.1, 31);
+  std::printf("network: %s, k = %u\n", g.DebugString().c_str(), k);
+
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < 20; ++v) targets.push_back(v * 137 % g.num_nodes());
+
+  KPathProblem problem(g, targets, k);
+  std::printf("lambda_hat (1-hop exact subspace) = %.4f, VC bound = %.0f\n",
+              1.0 / k, problem.VcDimension());
+
+  SaphyraOptions options;
+  options.epsilon = 0.01;
+  options.delta = 0.01;
+  options.seed = 11;
+  SaphyraResult res = RunSaphyra(&problem, options);
+
+  std::vector<uint32_t> ranks = RanksDescending(res.combined_risks);
+  std::printf("\n%8s %16s %16s %6s\n", "node", "k-path centrality",
+              "exact (1-hop) part", "rank");
+  for (size_t i = 0; i < targets.size(); ++i) {
+    std::printf("%8u %16.6f %16.6f %6u\n", targets[i], res.combined_risks[i],
+                res.exact_risks[i], ranks[i]);
+  }
+  std::printf(
+      "\nsamples: %llu of max %llu (early stop: %s) — the 1-hop exact "
+      "subspace removed lambda_hat = 1/k\nof the mass and every hypothesis' "
+      "variance shrank accordingly (Claim 8 of the paper).\n",
+      static_cast<unsigned long long>(res.samples_used),
+      static_cast<unsigned long long>(res.max_samples),
+      res.stopped_early ? "yes" : "no");
+  return 0;
+}

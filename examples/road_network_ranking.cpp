@@ -1,0 +1,87 @@
+// Road-network area ranking — the paper's USA-road case study (§V-B) in
+// miniature: rank all junctions of a geographic window (a "city") within a
+// much larger road network, without paying for the whole network.
+//
+//   $ ./examples/road_network_ranking
+//
+// Road networks are the best case for bi-component sampling: thousands of
+// small biconnected components, many cutpoints (bridges, dead ends), and a
+// personalized sample space that shrinks to the components touching the
+// target area (eta << 1). Accepts DIMACS .gr/.co files via graph/io.h if
+// you have the real USA-road data.
+
+#include <cstdio>
+
+#include "bc/saphyra_bc.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "metrics/rank.h"
+#include "util/timer.h"
+
+using namespace saphyra;
+
+int main() {
+  RoadNetwork road = RoadGrid(/*width=*/140, /*height=*/120,
+                              /*keep_prob=*/0.82, /*seed=*/55);
+  const Graph& g = road.graph;
+  std::printf("road network: %s, diameter >= %u\n", g.DebugString().c_str(),
+              TwoSweepDiameterLowerBound(g));
+
+  Timer t;
+  IspIndex isp(g);
+  uint64_t cutpoints = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    cutpoints += isp.bcc().is_cutpoint[v];
+  }
+  std::printf(
+      "ISP index: %u bi-components, %llu cutpoints, built in %s\n",
+      isp.num_components(), static_cast<unsigned long long>(cutpoints),
+      FormatDuration(t.ElapsedSeconds()).c_str());
+
+  // Three nested "cities" of decreasing size.
+  struct City {
+    const char* name;
+    float x0, y0, x1, y1;
+  };
+  const City cities[] = {
+      {"metro area", 10, 10, 80, 70},
+      {"city", 25, 20, 60, 50},
+      {"downtown", 35, 30, 50, 42},
+  };
+
+  for (const City& c : cities) {
+    auto targets = NodesInRectangle(road, c.x0, c.y0, c.x1, c.y1);
+    if (targets.size() < 2) continue;
+    SaphyraBcOptions options;
+    options.epsilon = 0.02;
+    options.delta = 0.01;
+    options.seed = 6;
+    t.Restart();
+    SaphyraBcResult res = RunSaphyraBc(isp, targets, options);
+    std::printf(
+        "\n%-12s %6zu junctions | eta = %.4f, VC bound = %.0f, "
+        "lambda_hat = %.3f\n             ranked in %s (%llu samples, "
+        "early stop: %s)\n",
+        c.name, targets.size(), res.eta, res.vc_bound, res.lambda_hat,
+        FormatDuration(res.total_seconds).c_str(),
+        static_cast<unsigned long long>(res.samples_used),
+        res.stopped_early ? "yes" : "no");
+    // Print the 5 most central junctions of the window with coordinates.
+    std::vector<uint32_t> ranks = RanksDescending(res.bc);
+    std::printf("             top junctions:");
+    for (uint32_t want = 1; want <= 5 && want <= targets.size(); ++want) {
+      for (size_t i = 0; i < targets.size(); ++i) {
+        if (ranks[i] == want) {
+          std::printf(" (%.0f,%.0f)", road.x[targets[i]],
+                      road.y[targets[i]]);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNote how eta shrinks with the window: SaPHyRa_bc samples only the "
+      "bi-components the\ntarget area touches (Eq. 23 of the paper), which "
+      "is where the subset-vs-full speedup comes from.\n");
+  return 0;
+}

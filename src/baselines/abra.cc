@@ -1,0 +1,196 @@
+#include "baselines/abra.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bc/vc_bc.h"
+#include "graph/bfs.h"
+#include "stats/vc.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace saphyra {
+
+namespace {
+
+/// Truncated BFS dependency accumulation for one sampled pair (u,v):
+/// credits every inner node w of a shortest u-v path with σ_uv(w)/σ_uv.
+/// Reusable scratch; O(edges within distance d(u,v)) per call.
+class PairDependencyAccumulator {
+ public:
+  explicit PairDependencyAccumulator(const Graph& g)
+      : g_(g),
+        dist_(g.num_nodes(), 0),
+        sigma_(g.num_nodes(), 0.0),
+        mu_(g.num_nodes(), 0.0),
+        epoch_of_(g.num_nodes(), 0),
+        mu_epoch_(g.num_nodes(), 0) {}
+
+  /// Returns false if v is unreachable from u. Otherwise calls
+  /// credit(w, fraction) for every inner node w.
+  template <typename CreditFn>
+  bool Accumulate(NodeId u, NodeId v, const CreditFn& credit) {
+    ++epoch_;
+    order_.clear();
+    Set(u, 0, 1.0);
+    order_.push_back(u);
+    uint32_t limit = kUnreachable;
+    for (size_t head = 0; head < order_.size(); ++head) {
+      NodeId x = order_[head];
+      if (dist_[x] >= limit) break;  // v's level fully expanded
+      for (NodeId y : g_.neighbors(x)) {
+        if (epoch_of_[y] != epoch_) {
+          Set(y, dist_[x] + 1, 0.0);
+          order_.push_back(y);
+          if (y == v) limit = dist_[y];
+        }
+        if (dist_[y] == dist_[x] + 1) sigma_[y] += sigma_[x];
+      }
+    }
+    if (epoch_of_[v] != epoch_) return false;
+    // Backward pass over the shortest-path DAG restricted to u-v paths:
+    // μ(w) = #shortest w-v paths; processed in descending distance so every
+    // successor is final before its predecessors accumulate.
+    back_.clear();
+    mu_epoch_[v] = epoch_;
+    mu_[v] = 1.0;
+    back_.push_back(v);
+    for (size_t head = 0; head < back_.size(); ++head) {
+      NodeId w = back_[head];
+      for (NodeId x : g_.neighbors(w)) {
+        if (epoch_of_[x] == epoch_ && dist_[x] + 1 == dist_[w] &&
+            mu_epoch_[x] != epoch_) {
+          mu_epoch_[x] = epoch_;
+          mu_[x] = 0.0;
+          back_.push_back(x);
+        }
+      }
+    }
+    std::sort(back_.begin(), back_.end(), [this](NodeId a, NodeId b) {
+      return dist_[a] > dist_[b];
+    });
+    for (NodeId w : back_) {
+      for (NodeId x : g_.neighbors(w)) {
+        if (epoch_of_[x] == epoch_ && dist_[x] + 1 == dist_[w] &&
+            mu_epoch_[x] == epoch_) {
+          mu_[x] += mu_[w];
+        }
+      }
+    }
+    const double sigma_uv = sigma_[v];
+    SAPHYRA_CHECK(sigma_uv > 0.0);
+    for (NodeId w : back_) {
+      if (w == u || w == v) continue;
+      credit(w, sigma_[w] * mu_[w] / sigma_uv);
+    }
+    return true;
+  }
+
+ private:
+  void Set(NodeId x, uint32_t d, double s) {
+    epoch_of_[x] = epoch_;
+    dist_[x] = d;
+    sigma_[x] = s;
+  }
+
+  const Graph& g_;
+  std::vector<uint32_t> dist_;
+  std::vector<double> sigma_;
+  std::vector<double> mu_;
+  std::vector<uint64_t> epoch_of_;
+  std::vector<uint64_t> mu_epoch_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> back_;
+  uint64_t epoch_ = 0;
+};
+
+/// Exponential-moment bound on the empirical Rademacher average:
+///   R̃ ≤ min_{s>0} (1/s)·ln( Σ_f exp(s²·||f||² / (2N²)) ),
+/// evaluated stably and minimized by golden-section search on log s.
+double RademacherBound(const std::vector<double>& sum_sq, uint64_t n_samples) {
+  const double nn = static_cast<double>(n_samples);
+  double max_v = 0.0;
+  for (double v : sum_sq) max_v = std::max(max_v, v);
+  auto phi = [&](double log_s) {
+    double s = std::exp(log_s);
+    double scale = s * s / (2.0 * nn * nn);
+    double amax = scale * max_v;
+    double acc = std::exp(-amax);  // the identically-zero function
+    for (double v : sum_sq) acc += std::exp(scale * v - amax);
+    return (amax + std::log(acc)) / s;
+  };
+  double lo = -10.0, hi = 12.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    double m1 = lo + (hi - lo) / 3.0;
+    double m2 = hi - (hi - lo) / 3.0;
+    if (phi(m1) < phi(m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return phi(0.5 * (lo + hi));
+}
+
+}  // namespace
+
+AbraResult RunAbra(const Graph& g, const AbraOptions& options) {
+  SAPHYRA_CHECK(options.epsilon > 0.0 && options.epsilon < 1.0);
+  Timer timer;
+  const NodeId n = g.num_nodes();
+  AbraResult result;
+  result.bc.assign(n, 0.0);
+  if (n < 2) return result;
+
+  Rng rng(options.seed);
+  PairDependencyAccumulator acc(g);
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> sum_sq(n, 0.0);
+
+  const double eps = options.epsilon;
+  const double c = options.vc_constant;
+  const uint64_t n0 = std::max<uint64_t>(
+      32, static_cast<uint64_t>(
+              std::ceil(c / (eps * eps) * std::log(2.0 / options.delta))));
+  const uint64_t cap = std::max(
+      n0, VcSampleBound(eps, options.delta, RiondatoVcBound(g), c));
+  const uint32_t rounds = static_cast<uint32_t>(std::max<double>(
+      1.0, std::ceil(std::log2(static_cast<double>(cap) /
+                               static_cast<double>(n0)))));
+  const double delta_epoch = options.delta / static_cast<double>(rounds + 1);
+
+  uint64_t samples = 0;
+  uint64_t target = n0;
+  for (;;) {
+    while (samples < target) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.UniformInt(n));
+      } while (v == u);
+      acc.Accumulate(u, v, [&](NodeId w, double f) {
+        sum[w] += f;
+        sum_sq[w] += f * f;
+      });
+      ++samples;
+    }
+    ++result.epochs;
+    const double r_bound = RademacherBound(sum_sq, samples);
+    result.final_bound =
+        2.0 * r_bound +
+        3.0 * std::sqrt(std::log(2.0 / delta_epoch) /
+                        (2.0 * static_cast<double>(samples)));
+    if (result.final_bound <= eps || samples >= cap) break;
+    target = std::min(samples * 2, cap);
+  }
+
+  for (NodeId w = 0; w < n; ++w) {
+    result.bc[w] = sum[w] / static_cast<double>(samples);
+  }
+  result.samples_used = samples;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,47 @@
+#ifndef SAPHYRA_BASELINES_ABRA_H_
+#define SAPHYRA_BASELINES_ABRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace saphyra {
+
+/// \brief Options for the ABRA baseline (Riondato & Upfal, KDD'16 [47]).
+struct AbraOptions {
+  double epsilon = 0.05;
+  double delta = 0.01;
+  uint64_t seed = 1;
+  /// Constant of the fallback sample-size cap.
+  double vc_constant = 0.5;
+};
+
+/// \brief Output of ABRA.
+struct AbraResult {
+  /// Estimated betweenness for all n nodes (ABRA cannot restrict itself to
+  /// a subset — one of the paper's motivating observations).
+  std::vector<double> bc;
+  uint64_t samples_used = 0;
+  uint32_t epochs = 0;
+  double final_bound = 0.0;  ///< last Rademacher deviation bound
+  double seconds = 0.0;
+};
+
+/// \brief ABRA: progressive node-pair sampling with a Rademacher-average
+/// stopping rule.
+///
+/// Each sample is a uniform ordered pair (u,v); the BFS dependency
+/// accumulation credits every node w on a shortest u-v path with
+/// σ_uv(w)/σ_uv. The stopping rule bounds the supremum deviation by
+/// 2·R̃ + 3·sqrt(ln(2/δ_e)/2N), where the empirical Rademacher average R̃
+/// is bounded through the exponential-moment ("Massart-style") function of
+/// the per-node sums of squares minimized over its scale parameter — the
+/// self-bounding computation ABRA performs at the end of each sample
+/// schedule epoch. Epochs double the sample size; δ is split evenly across
+/// epochs; a Riondato–Kornaropoulos VC cap bounds the schedule.
+AbraResult RunAbra(const Graph& g, const AbraOptions& options);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_BASELINES_ABRA_H_

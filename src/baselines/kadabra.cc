@@ -1,0 +1,85 @@
+#include "baselines/kadabra.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bc/vc_bc.h"
+#include "stats/empirical_bernstein.h"
+#include "stats/vc.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace saphyra {
+
+KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
+  SAPHYRA_CHECK(options.epsilon > 0.0 && options.epsilon < 1.0);
+  Timer timer;
+  const NodeId n = g.num_nodes();
+  KadabraResult result;
+  result.bc.assign(n, 0.0);
+  if (n < 2) return result;
+
+  Rng rng(options.seed);
+  PathSampler sampler(g, /*arc_component=*/nullptr);
+  PathSample path;
+  std::vector<uint64_t> counts(n, 0);
+
+  const double eps = options.epsilon;
+  const double c = options.vc_constant;
+  const uint64_t n0 = std::max<uint64_t>(
+      32, static_cast<uint64_t>(
+              std::ceil(c / (eps * eps) * std::log(2.0 / options.delta))));
+  const uint64_t omega = std::max(
+      n0, VcSampleBound(eps, options.delta, RiondatoVcBound(g), c));
+  const uint32_t rounds = static_cast<uint32_t>(std::max<double>(
+      1.0, std::ceil(std::log2(static_cast<double>(omega) /
+                               static_cast<double>(n0)))));
+  // Uniform failure-budget split: n nodes, two tails, `rounds` checks.
+  const double delta_v =
+      options.delta /
+      (2.0 * static_cast<double>(n) * static_cast<double>(rounds + 1));
+
+  uint64_t samples = 0;
+  uint64_t target = n0;
+  for (;;) {
+    while (samples < target) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.UniformInt(n));
+      } while (v == u);
+      if (sampler.SampleUniformPath(u, v, kInvalidComp, options.strategy,
+                                    &rng, &path)) {
+        for (size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+          ++counts[path.nodes[i]];
+        }
+      }
+      ++samples;  // unreachable pairs are zero-valued samples
+    }
+    ++result.epochs;
+    double worst = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double var = BernoulliSampleVariance(counts[v], samples);
+      worst = std::max(worst,
+                       EmpiricalBernsteinEpsilon(samples, delta_v, var));
+      if (worst > eps) break;
+    }
+    if (worst <= eps) {
+      result.stopped_early = samples < omega;
+      break;
+    }
+    if (samples >= omega) break;
+    target = std::min(samples * 2, omega);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    result.bc[v] =
+        static_cast<double>(counts[v]) / static_cast<double>(samples);
+  }
+  result.samples_used = samples;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,103 @@
+#include "bc/brandes.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace saphyra {
+
+namespace {
+
+/// One source's dependency accumulation into `acc` (unnormalized).
+void AccumulateSource(const Graph& g, NodeId s, std::vector<uint32_t>* dist,
+                      std::vector<double>* sigma, std::vector<double>* delta,
+                      std::vector<NodeId>* order, std::vector<double>* acc) {
+  // Forward BFS computing σ and visit order.
+  std::fill(dist->begin(), dist->end(), kUnreachable);
+  std::fill(sigma->begin(), sigma->end(), 0.0);
+  order->clear();
+  (*dist)[s] = 0;
+  (*sigma)[s] = 1.0;
+  order->push_back(s);
+  for (size_t head = 0; head < order->size(); ++head) {
+    NodeId u = (*order)[head];
+    uint32_t du = (*dist)[u];
+    for (NodeId v : g.neighbors(u)) {
+      if ((*dist)[v] == kUnreachable) {
+        (*dist)[v] = du + 1;
+        order->push_back(v);
+      }
+      if ((*dist)[v] == du + 1) (*sigma)[v] += (*sigma)[u];
+    }
+  }
+  // Reverse accumulation: δ_s(v) = Σ_{w: v pred of w} σ(v)/σ(w) (1 + δ(w)).
+  for (NodeId v : *order) (*delta)[v] = 0.0;
+  for (size_t i = order->size(); i-- > 1;) {  // skip the source itself
+    NodeId w = (*order)[i];
+    double coeff = (1.0 + (*delta)[w]) / (*sigma)[w];
+    for (NodeId v : g.neighbors(w)) {
+      if ((*dist)[v] + 1 == (*dist)[w]) {
+        (*delta)[v] += (*sigma)[v] * coeff;
+      }
+    }
+    if (w != s) (*acc)[w] += (*delta)[w];
+  }
+}
+
+void Normalize(const Graph& g, std::vector<double>* bc) {
+  const double n = static_cast<double>(g.num_nodes());
+  if (n < 2) return;
+  for (double& x : *bc) x /= n * (n - 1.0);
+}
+
+}  // namespace
+
+std::vector<double> BrandesBetweenness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  std::vector<uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n, 0.0);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    AccumulateSource(g, s, &dist, &sigma, &delta, &order, &bc);
+  }
+  Normalize(g, &bc);
+  return bc;
+}
+
+std::vector<double> ParallelBrandesBetweenness(const Graph& g,
+                                               size_t num_threads) {
+  const NodeId n = g.num_nodes();
+  ThreadPool pool(num_threads);
+  const size_t workers = pool.num_threads();
+  // One task per worker; each owns its scratch buffers and a private
+  // accumulator, claiming sources from a shared cursor. Reduced at the end.
+  std::vector<std::vector<double>> partial(workers,
+                                           std::vector<double>(n, 0.0));
+  std::atomic<NodeId> cursor{0};
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&, w] {
+      std::vector<uint32_t> dist(n);
+      std::vector<double> sigma(n), delta(n, 0.0);
+      std::vector<NodeId> order;
+      order.reserve(n);
+      for (;;) {
+        NodeId s = cursor.fetch_add(1);
+        if (s >= n) break;
+        AccumulateSource(g, s, &dist, &sigma, &delta, &order, &partial[w]);
+      }
+    });
+  }
+  pool.Wait();
+  std::vector<double> bc(n, 0.0);
+  for (const auto& p : partial) {
+    for (NodeId v = 0; v < n; ++v) bc[v] += p[v];
+  }
+  Normalize(g, &bc);
+  return bc;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,171 @@
+#include "bc/path_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+PathSampler::PathSampler(const Graph& g,
+                         const std::vector<uint32_t>* arc_component)
+    : g_(g), arc_component_(arc_component) {
+  for (Side* side : {&fwd_, &bwd_}) {
+    side->dist.assign(g.num_nodes(), kNoDist);
+    side->sigma.assign(g.num_nodes(), 0.0);
+    side->epoch.assign(g.num_nodes(), 0);
+  }
+}
+
+void PathSampler::InitSide(Side* side, NodeId origin) {
+  side->frontier.clear();
+  side->next.clear();
+  side->depth = 0;
+  side->epoch[origin] = epoch_;
+  side->dist[origin] = 0;
+  side->sigma[origin] = 1.0;
+  side->frontier.push_back(origin);
+}
+
+bool PathSampler::ExpandLevel(Side* side, uint32_t comp) {
+  side->next.clear();
+  const uint32_t new_depth = side->depth + 1;
+  for (NodeId u : side->frontier) {
+    const EdgeIndex base = g_.offset(u);
+    const auto nbr = g_.neighbors(u);
+    const double su = side->sigma[u];
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      ++arcs_scanned_;
+      if (!ArcAllowed(base + i, comp)) continue;
+      NodeId v = nbr[i];
+      if (side->epoch[v] != epoch_) {
+        side->epoch[v] = epoch_;
+        side->dist[v] = new_depth;
+        side->sigma[v] = 0.0;
+        side->next.push_back(v);
+      }
+      if (side->dist[v] == new_depth) side->sigma[v] += su;
+    }
+  }
+  side->frontier.swap(side->next);
+  side->depth = new_depth;
+  return !side->frontier.empty();
+}
+
+uint64_t PathSampler::FrontierCost(const Side& side) const {
+  uint64_t cost = 0;
+  for (NodeId u : side.frontier) cost += g_.degree(u);
+  return cost;
+}
+
+void PathSampler::WalkDown(const Side& side, NodeId v, uint32_t comp,
+                           Rng* rng, std::vector<NodeId>* out) {
+  NodeId cur = v;
+  while (side.dist[cur] > 0) {
+    const uint32_t want = side.dist[cur] - 1;
+    const EdgeIndex base = g_.offset(cur);
+    const auto nbr = g_.neighbors(cur);
+    // Weighted reservoir over predecessors: pick u with prob σ(u)/Σσ.
+    double total = 0.0;
+    NodeId pick = kInvalidNode;
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      if (!ArcAllowed(base + i, comp)) continue;
+      NodeId u = nbr[i];
+      if (side.epoch[u] != epoch_ || side.dist[u] != want) continue;
+      total += side.sigma[u];
+      if (rng->UniformDouble() * total < side.sigma[u]) pick = u;
+    }
+    SAPHYRA_CHECK(pick != kInvalidNode);
+    out->push_back(pick);
+    cur = pick;
+  }
+}
+
+bool PathSampler::SampleUniformPath(NodeId s, NodeId t, uint32_t comp,
+                                    SamplingStrategy strategy, Rng* rng,
+                                    PathSample* out) {
+  SAPHYRA_CHECK(s != t);
+  SAPHYRA_CHECK(s < g_.num_nodes() && t < g_.num_nodes());
+  ++epoch_;
+  arcs_scanned_ = 0;
+  out->nodes.clear();
+  out->num_paths = 0.0;
+  out->length = 0;
+  out->found = false;
+  if (strategy == SamplingStrategy::kBidirectional) {
+    return SampleBidirectional(s, t, comp, rng, out);
+  }
+  return SampleUnidirectional(s, t, comp, rng, out);
+}
+
+bool PathSampler::SampleBidirectional(NodeId s, NodeId t, uint32_t comp,
+                                      Rng* rng, PathSample* out) {
+  InitSide(&fwd_, s);
+  InitSide(&bwd_, t);
+  // Grow the cheaper side one full level at a time. After each expansion,
+  // any node of the new frontier already seen by the other side is a
+  // "middle": completed BFS levels make both σ values final, and all
+  // middles found in the same round sit on minimum-length paths (see the
+  // meeting argument in DESIGN.md / KADABRA [12]).
+  for (;;) {
+    Side* grow = FrontierCost(fwd_) <= FrontierCost(bwd_) ? &fwd_ : &bwd_;
+    const Side& other = (grow == &fwd_) ? bwd_ : fwd_;
+    if (!ExpandLevel(grow, comp)) return false;  // t unreachable from s
+    meet_.clear();
+    for (NodeId v : grow->frontier) {
+      if (other.epoch[v] == epoch_) meet_.push_back(v);
+    }
+    if (!meet_.empty()) break;
+  }
+  const uint32_t d = fwd_.depth + bwd_.depth;
+  // σ_st and middle selection, weighted by σ_s(v)·σ_t(v).
+  double sigma_st = 0.0;
+  NodeId middle = kInvalidNode;
+  for (NodeId v : meet_) {
+    double w = fwd_.sigma[v] * bwd_.sigma[v];
+    sigma_st += w;
+    if (rng->UniformDouble() * sigma_st < w) middle = v;
+  }
+  SAPHYRA_CHECK(middle != kInvalidNode);
+
+  // Assemble s .. middle .. t.
+  std::vector<NodeId> to_s;
+  WalkDown(fwd_, middle, comp, rng, &to_s);
+  out->nodes.assign(to_s.rbegin(), to_s.rend());
+  out->nodes.push_back(middle);
+  WalkDown(bwd_, middle, comp, rng, &out->nodes);
+  SAPHYRA_CHECK(out->nodes.front() == s && out->nodes.back() == t);
+  out->num_paths = sigma_st;
+  out->length = d;
+  out->found = true;
+  return true;
+}
+
+bool PathSampler::SampleUnidirectional(NodeId s, NodeId t, uint32_t comp,
+                                       Rng* rng, PathSample* out) {
+  InitSide(&fwd_, s);
+  // Expand until the level containing t completes (so σ(t) is final).
+  bool reached = false;
+  for (;;) {
+    if (!ExpandLevel(&fwd_, comp)) break;
+    if (fwd_.epoch[t] == epoch_ && fwd_.dist[t] == fwd_.depth) {
+      reached = true;
+      break;
+    }
+    if (fwd_.epoch[t] == epoch_ && fwd_.dist[t] < fwd_.depth) {
+      reached = true;  // already finalized on an earlier level
+      break;
+    }
+  }
+  if (!reached) return false;
+  std::vector<NodeId> to_s;
+  WalkDown(fwd_, t, comp, rng, &to_s);
+  out->nodes.assign(to_s.rbegin(), to_s.rend());
+  out->nodes.push_back(t);
+  SAPHYRA_CHECK(out->nodes.front() == s && out->nodes.back() == t);
+  out->num_paths = fwd_.sigma[t];
+  out->length = fwd_.dist[t];
+  out->found = true;
+  return true;
+}
+
+}  // namespace saphyra

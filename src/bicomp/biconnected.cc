@@ -1,0 +1,149 @@
+#include "bicomp/biconnected.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+std::vector<EdgeIndex> ComputeReverseArcs(const Graph& g) {
+  std::vector<EdgeIndex> rev(g.num_arcs());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EdgeIndex base = g.offset(u);
+    auto nbr = g.neighbors(u);
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      NodeId v = nbr[i];
+      // Adjacency lists are sorted and deduplicated, so the position of u in
+      // v's list is unique and binary-searchable.
+      auto vn = g.neighbors(v);
+      auto it = std::lower_bound(vn.begin(), vn.end(), u);
+      SAPHYRA_CHECK(it != vn.end() && *it == u);
+      rev[base + i] = g.offset(v) + static_cast<EdgeIndex>(it - vn.begin());
+    }
+  }
+  return rev;
+}
+
+namespace {
+
+/// Explicit DFS frame for the iterative Hopcroft–Tarjan algorithm.
+struct Frame {
+  NodeId v;
+  EdgeIndex arc;      // next arc of v to examine (absolute CSR index)
+  EdgeIndex arc_end;  // one past v's last arc
+  EdgeIndex parent_arc;  // arc (parent -> v) that entered v, or kNone
+};
+
+constexpr EdgeIndex kNoArc = static_cast<EdgeIndex>(-1);
+
+}  // namespace
+
+BiconnectedComponents ComputeBiconnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  BiconnectedComponents out;
+  out.arc_component.assign(g.num_arcs(), kInvalidComp);
+  out.is_cutpoint.assign(n, 0);
+  out.node_component.assign(n, kInvalidComp);
+  out.cutpoint_comp_count_.assign(n, 0);
+  out.rev_arc = ComputeReverseArcs(g);
+
+  std::vector<uint32_t> disc(n, 0);  // 0 = unvisited; discovery times from 1
+  std::vector<uint32_t> low(n, 0);
+  std::vector<EdgeIndex> edge_stack;  // arcs (u->v) of the current subtree
+  std::vector<Frame> stack;
+  uint32_t timer = 0;
+
+  auto pop_component = [&](EdgeIndex until_arc) {
+    // Pop arcs up to and including `until_arc`; they form one component.
+    uint32_t comp = out.num_components++;
+    for (;;) {
+      SAPHYRA_CHECK(!edge_stack.empty());
+      EdgeIndex e = edge_stack.back();
+      edge_stack.pop_back();
+      out.arc_component[e] = comp;
+      out.arc_component[out.rev_arc[e]] = comp;
+      if (e == until_arc) break;
+    }
+  };
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != 0 || g.degree(root) == 0) continue;
+    disc[root] = low[root] = ++timer;
+    stack.push_back(
+        {root, g.offset(root), g.offset(root) + g.degree(root), kNoArc});
+    uint32_t root_children = 0;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.arc < f.arc_end) {
+        EdgeIndex e = f.arc++;
+        NodeId w = g.neighbors(f.v)[e - g.offset(f.v)];
+        if (f.parent_arc != kNoArc && out.rev_arc[e] == f.parent_arc) {
+          continue;  // the tree edge back to the parent
+        }
+        if (disc[w] == 0) {
+          // Tree edge.
+          disc[w] = low[w] = ++timer;
+          edge_stack.push_back(e);
+          if (f.v == root) ++root_children;
+          stack.push_back({w, g.offset(w), g.offset(w) + g.degree(w), e});
+        } else if (disc[w] < disc[f.v]) {
+          // Back edge to an ancestor.
+          edge_stack.push_back(e);
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        // f.v is fully explored; fold into the parent.
+        Frame finished = f;
+        stack.pop_back();
+        if (finished.parent_arc == kNoArc) continue;  // root done
+        NodeId parent = stack.back().v;
+        low[parent] = std::min(low[parent], low[finished.v]);
+        if (low[finished.v] >= disc[parent]) {
+          // `parent` separates the subtree of finished.v: close a component.
+          if (parent != root || root_children >= 2) {
+            out.is_cutpoint[parent] = 1;
+          }
+          pop_component(finished.parent_arc);
+        }
+      }
+    }
+    SAPHYRA_CHECK(edge_stack.empty());
+    // Root articulation rule: handled above via root_children (the root is a
+    // cutpoint iff it has >= 2 DFS children).
+    if (root_children >= 2) out.is_cutpoint[root] = 1;
+  }
+
+  // Collect member nodes per component from the arc labels.
+  out.component_nodes.assign(out.num_components, {});
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t prev = kInvalidComp;
+    EdgeIndex base = g.offset(u);
+    for (NodeId i = 0; i < g.degree(u); ++i) {
+      uint32_t c = out.arc_component[base + i];
+      SAPHYRA_CHECK(c != kInvalidComp);
+      if (c != prev) {  // adjacency runs often share a component; cheap skip
+        out.component_nodes[c].push_back(u);
+        prev = c;
+      }
+    }
+  }
+  for (auto& nodes : out.component_nodes) {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  }
+  // node_component + cutpoint multiplicities.
+  for (uint32_t c = 0; c < out.num_components; ++c) {
+    for (NodeId v : out.component_nodes[c]) {
+      if (out.node_component[v] == kInvalidComp) out.node_component[v] = c;
+      ++out.cutpoint_comp_count_[v];
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    // Consistency: multiplicity > 1 iff flagged as cutpoint.
+    SAPHYRA_CHECK((out.cutpoint_comp_count_[v] > 1) ==
+                  (out.is_cutpoint[v] != 0));
+  }
+  return out;
+}
+
+}  // namespace saphyra

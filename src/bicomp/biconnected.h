@@ -1,0 +1,64 @@
+#ifndef SAPHYRA_BICOMP_BICONNECTED_H_
+#define SAPHYRA_BICOMP_BICONNECTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace saphyra {
+
+/// Component id for arcs that belong to no biconnected component
+/// (never produced for arcs of a valid graph; used as a sentinel).
+constexpr uint32_t kInvalidComp = static_cast<uint32_t>(-1);
+
+/// \brief Biconnected (2-vertex-connected) decomposition of a graph.
+///
+/// Computed with an iterative Hopcroft–Tarjan DFS (§IV-A of the paper,
+/// citing [43]). Every undirected edge belongs to exactly one biconnected
+/// component; a node belongs to every component one of its incident edges
+/// belongs to. Nodes in more than one component are cutpoints: removing one
+/// disconnects the graph (Fig. 2 of the paper).
+struct BiconnectedComponents {
+  /// Number of biconnected components (ℓ in the paper).
+  uint32_t num_components = 0;
+
+  /// Per CSR arc (see Graph::offset), the id of the component the
+  /// underlying undirected edge belongs to. Both directions of an edge get
+  /// the same label. The samplers use this to restrict BFS to one component.
+  std::vector<uint32_t> arc_component;
+
+  /// is_cutpoint[v] == 1 iff v is an articulation point.
+  std::vector<uint8_t> is_cutpoint;
+
+  /// Sorted node lists per component. A cutpoint appears in every component
+  /// it belongs to, so the total size is n' = Σ|C_i| >= n.
+  std::vector<std::vector<NodeId>> component_nodes;
+
+  /// For every node, the id of one component containing it (kInvalidComp
+  /// for isolated nodes). For non-cutpoints this is *the* component.
+  std::vector<uint32_t> node_component;
+
+  /// \brief Number of biconnected components node v belongs to.
+  uint32_t NumComponentsOf(NodeId v) const {
+    return node_component[v] == kInvalidComp ? 0
+           : (is_cutpoint[v] ? cutpoint_comp_count_[v] : 1);
+  }
+
+  /// \brief Reverse-arc map: rev_arc[e] is the CSR index of arc (v,u) given
+  /// arc e = (u,v). Shared with the samplers.
+  std::vector<EdgeIndex> rev_arc;
+
+  // Internal: per-node component multiplicity for cutpoints.
+  std::vector<uint32_t> cutpoint_comp_count_;
+};
+
+/// \brief Run the decomposition. O(n + m).
+BiconnectedComponents ComputeBiconnectedComponents(const Graph& g);
+
+/// \brief Compute the reverse-arc map alone (used by tests/samplers).
+std::vector<EdgeIndex> ComputeReverseArcs(const Graph& g);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_BICOMP_BICONNECTED_H_

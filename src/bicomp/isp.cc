@@ -1,0 +1,152 @@
+#include "bicomp/isp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+IspIndex::IspIndex(const Graph& g)
+    : g_(&g),
+      bcc_(ComputeBiconnectedComponents(g)),
+      conn_(ConnectedComponents(g)),
+      tree_(BlockCutTree::Build(g, bcc_, conn_)) {
+  const double n = static_cast<double>(g.num_nodes());
+  const double pair_norm = n * (n - 1.0);
+  const uint32_t num_comps = bcc_.num_components;
+
+  comp_weight_.assign(num_comps, 0.0);
+  source_alias_.resize(num_comps);
+  target_alias_.resize(num_comps);
+  target_weights_.resize(num_comps);
+  target_mass_.assign(num_comps, 0.0);
+  std::vector<double> src_w;
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    const auto& nodes = bcc_.component_nodes[c];
+    const double csize =
+        static_cast<double>(tree_.conn_size_of_comp(c));
+    src_w.clear();
+    auto& tgt_w = target_weights_[c];
+    tgt_w.clear();
+    double w = 0.0, mass = 0.0;
+    for (NodeId v : nodes) {
+      double r = static_cast<double>(tree_.OutReach(c, v));
+      double sw = r * (csize - r);
+      src_w.push_back(sw);
+      tgt_w.push_back(r);
+      w += sw;
+      mass += r;
+    }
+    comp_weight_[c] = w;
+    target_mass_[c] = mass;
+    total_weight_ += w;
+    // A component of a 2-node connected component (a single isolated edge)
+    // has zero source mass; it can never be sampled, so skip its tables.
+    if (w > 0.0) {
+      source_alias_[c] = AliasTable(src_w);
+      target_alias_[c] = AliasTable(tgt_w);
+    }
+  }
+  gamma_ = g.num_nodes() >= 2 ? total_weight_ / pair_norm : 0.0;
+
+  // Break-point centrality bc_a (Eq. 21, ordered-pair form).
+  bca_.assign(g.num_nodes(), 0.0);
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    const double csize = static_cast<double>(tree_.conn_size_of_comp(c));
+    for (NodeId v : bcc_.component_nodes[c]) {
+      if (!bcc_.is_cutpoint[v]) continue;
+      double hang = static_cast<double>(tree_.HangSize(c, v));
+      bca_[v] += hang * (csize - 1.0 - hang);
+    }
+  }
+  if (g.num_nodes() >= 2) {
+    for (auto& b : bca_) b /= pair_norm;
+  }
+}
+
+std::vector<uint32_t> IspIndex::ComponentsOf(NodeId v) const {
+  std::vector<uint32_t> comps;
+  EdgeIndex base = g_->offset(v);
+  for (NodeId i = 0; i < g_->degree(v); ++i) {
+    comps.push_back(bcc_.arc_component[base + i]);
+  }
+  std::sort(comps.begin(), comps.end());
+  comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+  return comps;
+}
+
+NodeId IspIndex::SampleSource(uint32_t c, Rng* rng) const {
+  SAPHYRA_CHECK(comp_weight_[c] > 0.0);
+  return bcc_.component_nodes[c][source_alias_[c].Sample(rng)];
+}
+
+NodeId IspIndex::SampleTarget(uint32_t c, NodeId s, Rng* rng) const {
+  const auto& nodes = bcc_.component_nodes[c];
+  // A 2-node component (bridge) has only one possible target. This is also
+  // the case where rejection sampling degenerates: a bridge below a hub has
+  // r(hub) = csize−1, so rejecting t == hub would loop ~csize times.
+  if (nodes.size() == 2) {
+    return nodes[0] == s ? nodes[1] : nodes[0];
+  }
+  const auto& weights = target_weights_[c];
+  size_t s_index = static_cast<size_t>(
+      std::lower_bound(nodes.begin(), nodes.end(), s) - nodes.begin());
+  const double r_s = weights[s_index];
+  const double mass = target_mass_[c];
+  if (r_s < 0.5 * mass) {
+    // Rejection from the unconditional r-weighted alias table realizes
+    // Pr[t | t != s] = r(t)/(mass − r(s)) exactly; with r(s) below half the
+    // mass the expected number of retries is at most 2.
+    for (;;) {
+      NodeId t = nodes[target_alias_[c].Sample(rng)];
+      if (t != s) return t;
+    }
+  }
+  // One node holds most of the r-mass: sample by inversion over the
+  // remaining members, O(|C_c|). Rare (at most one such node per call).
+  double x = rng->UniformDouble() * (mass - r_s);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i == s_index) continue;
+    x -= weights[i];
+    if (x <= 0.0) return nodes[i];
+  }
+  // Floating-point slack: return the last non-s member.
+  return nodes.back() == s ? nodes[nodes.size() - 2] : nodes.back();
+}
+
+PersonalizedSpace::PersonalizedSpace(const IspIndex& isp,
+                                     std::vector<NodeId> targets)
+    : isp_(&isp), targets_(std::move(targets)) {
+  const Graph& g = isp.graph();
+  node_to_hyp_.assign(g.num_nodes(), -1);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    NodeId v = targets_[i];
+    SAPHYRA_CHECK_MSG(v < g.num_nodes(), "target node out of range");
+    SAPHYRA_CHECK_MSG(node_to_hyp_[v] == -1, "duplicate target node");
+    node_to_hyp_[v] = static_cast<int32_t>(i);
+  }
+  // I(A): components containing at least one target.
+  for (NodeId v : targets_) {
+    for (uint32_t c : isp.ComponentsOf(v)) comp_ids_.push_back(c);
+  }
+  std::sort(comp_ids_.begin(), comp_ids_.end());
+  comp_ids_.erase(std::unique(comp_ids_.begin(), comp_ids_.end()),
+                  comp_ids_.end());
+
+  double mass = 0.0;
+  std::vector<double> weights;
+  weights.reserve(comp_ids_.size());
+  for (uint32_t c : comp_ids_) {
+    weights.push_back(isp.comp_weight(c));
+    mass += isp.comp_weight(c);
+  }
+  eta_ = isp.total_weight() > 0.0 ? mass / isp.total_weight() : 0.0;
+  if (mass > 0.0) comp_alias_ = AliasTable(weights);
+}
+
+uint32_t PersonalizedSpace::SampleComponent(Rng* rng) const {
+  SAPHYRA_CHECK(!comp_alias_.empty());
+  return comp_ids_[comp_alias_.Sample(rng)];
+}
+
+}  // namespace saphyra

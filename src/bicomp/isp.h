@@ -1,0 +1,144 @@
+#ifndef SAPHYRA_BICOMP_ISP_H_
+#define SAPHYRA_BICOMP_ISP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bicomp/biconnected.h"
+#include "bicomp/block_cut_tree.h"
+#include "graph/connectivity.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace saphyra {
+
+/// \brief Index over the intra-component shortest-path (ISP) sample space
+/// (§IV-A of the paper).
+///
+/// Built once per graph, independent of the target subset. Bundles the
+/// biconnected decomposition, block-cut tree/out-reach sets, and everything
+/// derived from them in closed form:
+///   * pair mass q_st = r_i(s)·r_i(t) / (n(n−1))  (ordered pairs),
+///   * per-component mass W_i = Σ_{s∈C_i} r_i(s)(csize−r_i(s))
+///     (= q-mass of C_i scaled by n(n−1)),
+///   * γ = Σ_i W_i / (n(n−1))  (Eq. 19),
+///   * break-point centrality bc_a(v)  (Eq. 21),
+/// plus O(1) alias tables for the multistage sampler of Algorithm 2.
+///
+/// Convention note: the paper's Eq. 21 collapses the break-point sum to a
+/// single term, which counts unordered pairs when a cutpoint belongs to
+/// exactly two components. We use the general ordered-pair form
+///   bc_a(v) = 1/(n(n−1)) · Σ_{C_i ∋ v} |T_i(v)|·(csize−1−|T_i(v)|),
+/// which matches Eq. 3's ordered-pair definition of bc for any multiplicity;
+/// the identity bc(v) = γ·E_{D_c}[g(v,p)] + bc_a(v) (Lemma 13) is verified
+/// against exhaustive enumeration in the tests.
+class IspIndex {
+ public:
+  /// \brief Build the full index. O(n + m).
+  explicit IspIndex(const Graph& g);
+
+  IspIndex(const IspIndex&) = delete;
+  IspIndex& operator=(const IspIndex&) = delete;
+
+  const Graph& graph() const { return *g_; }
+  const BiconnectedComponents& bcc() const { return bcc_; }
+  const BlockCutTree& tree() const { return tree_; }
+  const ComponentLabels& conn() const { return conn_; }
+
+  /// \brief Number of biconnected components ℓ.
+  uint32_t num_components() const { return bcc_.num_components; }
+
+  /// \brief Normalization factor γ of the ISP distribution (Eq. 19).
+  double gamma() const { return gamma_; }
+
+  /// \brief Break-point centrality bc_a(v) (Eq. 21; 0 for non-cutpoints).
+  double bca(NodeId v) const { return bca_[v]; }
+
+  /// \brief Unnormalized component mass W_i (q-mass × n(n−1)).
+  double comp_weight(uint32_t c) const { return comp_weight_[c]; }
+
+  /// \brief Σ_i W_i = γ·n(n−1).
+  double total_weight() const { return total_weight_; }
+
+  /// \brief Out-reach r_i(v) for member v of component c.
+  uint64_t OutReach(uint32_t c, NodeId v) const {
+    return tree_.OutReach(c, v);
+  }
+
+  /// \brief q_st for s,t members of component c (ordered-pair mass).
+  double PairMass(uint32_t c, NodeId s, NodeId t) const {
+    double n = static_cast<double>(g_->num_nodes());
+    return static_cast<double>(OutReach(c, s)) *
+           static_cast<double>(OutReach(c, t)) / (n * (n - 1.0));
+  }
+
+  /// \brief All biconnected components containing node v (1 element for
+  /// non-cutpoints, empty for isolated nodes).
+  std::vector<uint32_t> ComponentsOf(NodeId v) const;
+
+  /// \brief Stage 2 of Algorithm 2: source s ∈ C_c with probability
+  /// r_c(s)(csize−r_c(s)) / W_c.
+  NodeId SampleSource(uint32_t c, Rng* rng) const;
+
+  /// \brief Stage 3 of Algorithm 2: target t ∈ C_c \ {s} with probability
+  /// r_c(t) / (csize − r_c(s)).
+  NodeId SampleTarget(uint32_t c, NodeId s, Rng* rng) const;
+
+ private:
+  const Graph* g_;
+  BiconnectedComponents bcc_;
+  ComponentLabels conn_;
+  BlockCutTree tree_;
+  double gamma_ = 0.0;
+  double total_weight_ = 0.0;
+  std::vector<double> comp_weight_;
+  std::vector<double> bca_;
+  // Alias tables per component, indices into bcc_.component_nodes[c].
+  std::vector<AliasTable> source_alias_;
+  std::vector<AliasTable> target_alias_;
+  // Per-component out-reach values aligned with component_nodes[c], plus
+  // their sum (= csize): needed for the no-rejection fallback in
+  // SampleTarget when one node holds most of the r-mass.
+  std::vector<std::vector<double>> target_weights_;
+  std::vector<double> target_mass_;
+};
+
+/// \brief Personalization of the ISP space to a target subset A (§IV-A).
+///
+/// Restricts the sample space to components touching A (the PISP space
+/// X_c^(A), Eq. 22) and exposes η (Eq. 23) and stage 1 of Algorithm 2.
+class PersonalizedSpace {
+ public:
+  /// \brief Personalize `isp` to `targets` (= A). Duplicate targets are
+  /// rejected by SAPHYRA_CHECK; order defines hypothesis indices.
+  PersonalizedSpace(const IspIndex& isp, std::vector<NodeId> targets);
+
+  const IspIndex& isp() const { return *isp_; }
+  const std::vector<NodeId>& targets() const { return targets_; }
+
+  /// \brief η = PISP mass / ISP mass (Eq. 23). 0 if A touches no component.
+  double eta() const { return eta_; }
+
+  /// \brief Component ids in I(A), sorted.
+  const std::vector<uint32_t>& component_ids() const { return comp_ids_; }
+
+  /// \brief Hypothesis index of node v in `targets`, or -1.
+  int32_t HypothesisIndex(NodeId v) const { return node_to_hyp_[v]; }
+
+  /// \brief Stage 1 of Algorithm 2: component C_i, i ∈ I(A), with
+  /// probability W_i / (η·ΣW).
+  uint32_t SampleComponent(Rng* rng) const;
+
+ private:
+  const IspIndex* isp_;
+  std::vector<NodeId> targets_;
+  std::vector<uint32_t> comp_ids_;
+  std::vector<int32_t> node_to_hyp_;
+  double eta_ = 0.0;
+  AliasTable comp_alias_;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_BICOMP_ISP_H_

@@ -1,0 +1,109 @@
+#include "closeness/closeness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.h"
+#include "stats/vc.h"
+#include "util/logging.h"
+
+namespace saphyra {
+
+HarmonicClosenessProblem::HarmonicClosenessProblem(const Graph& g,
+                                                   std::vector<NodeId> targets)
+    : g_(g),
+      targets_(std::move(targets)),
+      dist_(g.num_nodes(), 0),
+      epoch_of_(g.num_nodes(), 0) {
+  node_to_hyp_.assign(g.num_nodes(), -1);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    SAPHYRA_CHECK(targets_[i] < g.num_nodes());
+    SAPHYRA_CHECK_MSG(node_to_hyp_[targets_[i]] == -1, "duplicate target");
+    node_to_hyp_[targets_[i]] = static_cast<int32_t>(i);
+  }
+}
+
+double HarmonicClosenessProblem::ComputeExactRisks(
+    std::vector<double>* exact_risks) {
+  const double n = static_cast<double>(g_.num_nodes());
+  exact_risks->assign(targets_.size(), 0.0);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    // On X̂ (x >= 1/2): loss 1 iff d(u, v) = 1, i.e. u is a neighbor of v.
+    (*exact_risks)[i] = static_cast<double>(g_.degree(targets_[i])) / (2.0 * n);
+  }
+  return 0.5;  // λ̂ = Pr[x >= 1/2]
+}
+
+void HarmonicClosenessProblem::SampleApproxLosses(
+    Rng* rng, std::vector<uint32_t>* hits) {
+  const NodeId n = g_.num_nodes();
+  NodeId u = static_cast<NodeId>(rng->UniformInt(n));
+  double x = 0.5 * rng->UniformDouble();  // conditional on X̃: x ~ U(0, 1/2)
+  // Loss 1 iff x·d < 1 iff (d integral) d <= ceil(1/x) - 1; this also
+  // covers 1/x integral, where d < 1/x means d <= 1/x - 1.
+  uint64_t depth_limit;
+  if (x <= 1.0 / static_cast<double>(n)) {
+    depth_limit = n;  // every finite distance qualifies
+  } else {
+    depth_limit = static_cast<uint64_t>(std::ceil(1.0 / x)) - 1;
+  }
+  // Truncated BFS from u, reporting targets at 1 <= d <= depth_limit.
+  ++epoch_;
+  epoch_of_[u] = epoch_;
+  dist_[u] = 0;
+  queue_.clear();
+  queue_.push_back(u);
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    NodeId w = queue_[head];
+    if (dist_[w] >= depth_limit) break;  // deeper nodes cannot have loss 1
+    for (NodeId y : g_.neighbors(w)) {
+      if (epoch_of_[y] != epoch_) {
+        epoch_of_[y] = epoch_;
+        dist_[y] = dist_[w] + 1;
+        queue_.push_back(y);
+        int32_t h = node_to_hyp_[y];
+        if (h >= 0) hits->push_back(static_cast<uint32_t>(h));
+      }
+    }
+  }
+}
+
+double HarmonicClosenessProblem::VcDimension() const {
+  return PiMaxVcBound(g_.num_nodes());
+}
+
+double HarmonicClosenessProblem::RiskToCentrality(double risk) const {
+  const double n = static_cast<double>(g_.num_nodes());
+  return n < 2 ? 0.0 : risk * n / (n - 1.0);
+}
+
+std::vector<double> EstimateHarmonicCloseness(
+    const Graph& g, const std::vector<NodeId>& targets,
+    const SaphyraOptions& options) {
+  HarmonicClosenessProblem problem(g, targets);
+  SaphyraResult res = RunSaphyra(&problem, options);
+  std::vector<double> out(res.combined_risks.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = problem.RiskToCentrality(res.combined_risks[i]);
+  }
+  return out;
+}
+
+std::vector<double> ExactHarmonicCloseness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> hc(n, 0.0);
+  if (n < 2) return hc;
+  for (NodeId v = 0; v < n; ++v) {
+    BfsResult r = Bfs(g, v);
+    double sum = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != v && r.dist[u] != kUnreachable) {
+        sum += 1.0 / static_cast<double>(r.dist[u]);
+      }
+    }
+    hc[v] = sum / static_cast<double>(n - 1);
+  }
+  return hc;
+}
+
+}  // namespace saphyra

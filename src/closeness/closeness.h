@@ -1,0 +1,78 @@
+#ifndef SAPHYRA_CLOSENESS_CLOSENESS_H_
+#define SAPHYRA_CLOSENESS_CLOSENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/saphyra.h"
+#include "graph/graph.h"
+
+namespace saphyra {
+
+/// \brief Harmonic closeness centrality through the SaPHyRa framework —
+/// the first of the paper's named future directions ("extending the
+/// framework to other centrality measures such as closeness centrality",
+/// §VI), built here as a third instantiation.
+///
+/// Harmonic centrality: hc(v) = 1/(n−1) · Σ_{u≠v} 1/d(u,v) (terms with
+/// unreachable u contribute 0). The classic estimator samples sources and
+/// averages 1/d — but that loss is fractional, while Algorithm 1's variance
+/// machinery is sharpest for 0/1 losses. We therefore *randomize the
+/// threshold*: a sample is a pair (u, x) with u uniform over V and
+/// x ~ U(0,1), and
+///     h_v((u,x)) = 1  iff  u ≠ v and x·d(u,v) < 1,
+/// so that E[h_v] = (1/n)·Σ_{u≠v} min(1, 1/d(u,v)) = (1/n)·Σ_{u≠v} 1/d =
+/// ((n−1)/n)·hc(v) — an unbiased 0/1-loss reformulation.
+///
+/// Sample-space partition: for x ≥ 1/2 the event x·d < 1 happens exactly
+/// when d = 1, so the subspace X̂ = {(u,x) : x ≥ 1/2} admits closed-form
+/// exact risks
+///     ℓ̂_v = Pr[u ∈ N(v)] · Pr[x ≥ 1/2] = deg(v) / (2n),   λ̂ = 1/2,
+/// and by Claim 8 the remaining sampling problem has strictly smaller
+/// variance. Samples from X̃ draw x < 1/2 and run a BFS from u truncated at
+/// depth ⌈1/x⌉ − 1 (nodes beyond it cannot have loss 1).
+///
+/// VC dimension: π((u,x)) = |{v : d(u,v) < 1/x}| can reach n for tiny x, so
+/// the generic bound VC ≤ ⌊log₂ n⌋ + 1 applies (Lemma 5); the truncated-BFS
+/// cost concentrates on large x, keeping samples cheap in expectation.
+class HarmonicClosenessProblem : public HypothesisRankingProblem {
+ public:
+  /// \brief Rank `targets` by harmonic closeness on graph `g`.
+  HarmonicClosenessProblem(const Graph& g, std::vector<NodeId> targets);
+
+  size_t num_hypotheses() const override { return targets_.size(); }
+  double ComputeExactRisks(std::vector<double>* exact_risks) override;
+  void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override;
+  double VcDimension() const override;
+  std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
+    return std::make_unique<HarmonicClosenessProblem>(g_, targets_);
+  }
+
+  /// \brief Convert a combined risk ℓ back to the harmonic-centrality
+  /// scale: hc = ℓ·n/(n−1).
+  double RiskToCentrality(double risk) const;
+
+ private:
+  const Graph& g_;
+  std::vector<NodeId> targets_;
+  std::vector<int32_t> node_to_hyp_;
+  // Truncated-BFS scratch (epoch-reset).
+  std::vector<uint32_t> dist_;
+  std::vector<uint64_t> epoch_of_;
+  std::vector<NodeId> queue_;
+  uint64_t epoch_ = 0;
+};
+
+/// \brief Estimate the harmonic closeness of `targets` with an (ε,δ)
+/// guarantee via Algorithm 1. Returned values are on the hc scale.
+std::vector<double> EstimateHarmonicCloseness(
+    const Graph& g, const std::vector<NodeId>& targets,
+    const SaphyraOptions& options);
+
+/// \brief Exact harmonic closeness by one BFS per node. O(nm); ground
+/// truth for tests, examples, and benches.
+std::vector<double> ExactHarmonicCloseness(const Graph& g);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_CLOSENESS_CLOSENESS_H_

@@ -1,0 +1,216 @@
+#include "core/saphyra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "stats/delta_allocation.h"
+#include "stats/empirical_bernstein.h"
+#include "stats/vc.h"
+#include "util/logging.h"
+
+namespace saphyra {
+
+namespace {
+
+/// Draws batches of i.i.d. samples, serially or across worker threads.
+///
+/// Worker 0 is the caller's problem instance; additional workers are
+/// CloneForSampling copies, each with an independently split RNG stream, so
+/// a run is deterministic for a fixed (seed, num_threads) pair. Per-worker
+/// hit counts are merged after every batch.
+class SampleEngine {
+ public:
+  SampleEngine(HypothesisRankingProblem* problem, uint32_t num_threads,
+               Rng* base_rng) {
+    workers_.push_back(problem);
+    for (uint32_t i = 1; i < num_threads; ++i) {
+      auto clone = problem->CloneForSampling();
+      if (clone == nullptr) break;  // problem does not support cloning
+      clones_.push_back(std::move(clone));
+      workers_.push_back(clones_.back().get());
+    }
+    const size_t k = problem->num_hypotheses();
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      rngs_.push_back(base_rng->Split());
+      local_counts_.emplace_back(k, 0);
+    }
+  }
+
+  /// Draw `target - current` samples into *counts; returns `target`.
+  uint64_t Draw(uint64_t current, uint64_t target,
+                std::vector<uint64_t>* counts) {
+    SAPHYRA_CHECK(target >= current);
+    const uint64_t need = target - current;
+    if (need == 0) return target;
+    if (workers_.size() == 1) {
+      RunWorker(0, need);
+    } else {
+      std::vector<std::thread> threads;
+      const uint64_t per = need / workers_.size();
+      const uint64_t extra = need % workers_.size();
+      for (size_t w = 0; w < workers_.size(); ++w) {
+        uint64_t quota = per + (w < extra ? 1 : 0);
+        threads.emplace_back([this, w, quota] { RunWorker(w, quota); });
+      }
+      for (auto& t : threads) t.join();
+    }
+    for (auto& local : local_counts_) {
+      for (size_t i = 0; i < counts->size(); ++i) {
+        (*counts)[i] += local[i];
+        local[i] = 0;
+      }
+    }
+    return target;
+  }
+
+ private:
+  void RunWorker(size_t w, uint64_t quota) {
+    std::vector<uint32_t> hits;
+    auto& local = local_counts_[w];
+    for (uint64_t j = 0; j < quota; ++j) {
+      hits.clear();
+      workers_[w]->SampleApproxLosses(&rngs_[w], &hits);
+      for (uint32_t i : hits) {
+        SAPHYRA_CHECK(i < local.size());
+        ++local[i];
+      }
+    }
+  }
+
+  std::vector<HypothesisRankingProblem*> workers_;
+  std::vector<std::unique_ptr<HypothesisRankingProblem>> clones_;
+  std::vector<Rng> rngs_;
+  std::vector<std::vector<uint64_t>> local_counts_;
+};
+
+}  // namespace
+
+SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
+                         const SaphyraOptions& options) {
+  SAPHYRA_CHECK(options.epsilon > 0.0 && options.epsilon < 1.0);
+  SAPHYRA_CHECK(options.delta > 0.0 && options.delta < 1.0);
+  const size_t k = problem->num_hypotheses();
+
+  SaphyraResult result;
+  result.lambda_hat = problem->ComputeExactRisks(&result.exact_risks);
+  SAPHYRA_CHECK(result.exact_risks.size() == k);
+  SAPHYRA_CHECK(result.lambda_hat >= 0.0 && result.lambda_hat <= 1.0 + 1e-9);
+  result.lambda = std::max(0.0, 1.0 - result.lambda_hat);
+  result.approx_risks.assign(k, 0.0);
+  result.combined_risks = result.exact_risks;
+  if (k == 0) return result;
+
+  const double lambda = result.lambda;
+  if (lambda <= 1e-12) {
+    // The exact subspace carries all the mass; nothing to estimate.
+    result.epsilon_prime = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  // Line 5 of Algorithm 1: allowing error ε′ = ε/λ on the approximate part
+  // yields error λ·ε′ = ε on the combination (Lemma 7's 1/λ² saving).
+  const double eps_prime = options.epsilon / lambda;
+  result.epsilon_prime = eps_prime;
+
+  Rng rng(options.seed);
+  Rng pilot_rng = rng.Split();  // independent stream for the pilot
+
+  const double c = options.vc_constant;
+  const double vc = problem->VcDimension();
+  const double log_inv_delta = std::log(1.0 / options.delta);
+  auto to_count = [](double x) {
+    return static_cast<uint64_t>(std::ceil(std::max(0.0, x)));
+  };
+  // Lines 6-7: initial and maximal sample sizes.
+  uint64_t n0 = to_count(c / (eps_prime * eps_prime) * log_inv_delta);
+  n0 = std::max(n0, options.min_initial_samples);
+  uint64_t n_max =
+      to_count(c / (eps_prime * eps_prime) * (vc + log_inv_delta));
+  n_max = std::max(n_max, n0);
+  result.max_samples = n_max;
+
+  const uint32_t rounds = static_cast<uint32_t>(std::max<double>(
+      1.0, std::ceil(std::log2(static_cast<double>(n_max) /
+                               static_cast<double>(n0)))));
+
+  // Pilot phase (§III-C): estimate variances on an independent stream and
+  // allocate per-hypothesis failure probabilities (Eq. 13).
+  SampleEngine pilot_engine(problem, options.num_threads, &pilot_rng);
+  std::vector<uint64_t> pilot_counts(k, 0);
+  pilot_engine.Draw(0, n0, &pilot_counts);
+  result.pilot_samples = n0;
+  std::vector<double> pilot_vars(k);
+  for (size_t i = 0; i < k; ++i) {
+    pilot_vars[i] = BernoulliSampleVariance(pilot_counts[i], n0);
+  }
+  const double delta_budget = options.delta / static_cast<double>(rounds);
+  std::vector<double> deltas =
+      AllocateDeltas(pilot_vars, eps_prime, delta_budget, n0, n_max);
+
+  // Main adaptive loop (lines 10-18): double N until every hypothesis meets
+  // ε′ by the empirical Bernstein bound, or until the VC cap Nmax (at which
+  // point Lemma 4 supplies the guarantee unconditionally).
+  SampleEngine engine(problem, options.num_threads, &rng);
+  std::vector<uint64_t> counts(k, 0);
+  uint64_t n = 0;
+  uint64_t target = n0;
+  for (uint32_t rd = 0; rd < rounds + 1; ++rd) {
+    n = engine.Draw(n, target, &counts);
+    ++result.rounds_used;
+    double worst = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      double var = BernoulliSampleVariance(counts[i], n);
+      worst = std::max(worst, EmpiricalBernsteinEpsilon(n, deltas[i], var));
+      if (worst > eps_prime) break;  // already failed this round
+    }
+    if (worst <= eps_prime) {
+      result.stopped_early = (n < n_max);
+      break;
+    }
+    if (n >= n_max) break;
+    target = std::min(n * 2, n_max);
+  }
+  result.samples_used = n;
+
+  // Lines 19-21: combine.
+  for (size_t i = 0; i < k; ++i) {
+    result.approx_risks[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(n);
+    result.combined_risks[i] =
+        result.exact_risks[i] + lambda * result.approx_risks[i];
+  }
+  return result;
+}
+
+SaphyraResult RunDirectEstimation(HypothesisRankingProblem* problem,
+                                  const SaphyraOptions& options) {
+  SAPHYRA_CHECK(options.epsilon > 0.0 && options.epsilon < 1.0);
+  const size_t k = problem->num_hypotheses();
+  SaphyraResult result;
+  result.exact_risks.assign(k, 0.0);
+  result.approx_risks.assign(k, 0.0);
+  result.combined_risks.assign(k, 0.0);
+  result.lambda_hat = 0.0;
+  result.lambda = 1.0;
+  result.epsilon_prime = options.epsilon;
+  if (k == 0) return result;
+
+  Rng rng(options.seed);
+  const uint64_t n =
+      std::max(options.min_initial_samples,
+               VcSampleBound(options.epsilon, options.delta,
+                             problem->VcDimension(), options.vc_constant));
+  std::vector<uint64_t> counts(k, 0);
+  SampleEngine engine(problem, options.num_threads, &rng);
+  engine.Draw(0, n, &counts);
+  result.samples_used = result.max_samples = n;
+  result.rounds_used = 1;
+  for (size_t i = 0; i < k; ++i) {
+    result.approx_risks[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(n);
+    result.combined_risks[i] = result.approx_risks[i];
+  }
+  return result;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,116 @@
+#ifndef SAPHYRA_CORE_SAPHYRA_H_
+#define SAPHYRA_CORE_SAPHYRA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace saphyra {
+
+/// \brief A hypothesis-ranking problem with a partitioned sample space
+/// (§III of the paper).
+///
+/// An instantiation fixes a sample space X, a distribution D, a 0/1 loss,
+/// and a hypothesis class H = {h_1..h_k}, together with a partition
+/// X = X̂ ∪ X̃ into an *exact* and an *approximate* subspace:
+///
+///  * ComputeExactRisks plays the role of the paper's `Exact(·)` oracle: it
+///    returns the exact-subspace risks ℓ̂_i (Eq. 9) and the subspace weight
+///    λ̂ = Pr_D[x ∈ X̂].
+///  * SampleApproxLosses plays the role of `Gen(·)`: it draws one sample
+///    from D̃ = D conditioned on X̃ (Eq. 10) and reports which hypotheses
+///    incur loss 1 on it (losses are restricted to {0,1}, which is all the
+///    paper's instantiations use — Eq. 27).
+///  * VcDimension returns an upper bound on VC(H) over X̃, capping the
+///    sample budget via Lemma 4.
+class HypothesisRankingProblem {
+ public:
+  virtual ~HypothesisRankingProblem() = default;
+
+  /// \brief Number of hypotheses k = |H|.
+  virtual size_t num_hypotheses() const = 0;
+
+  /// \brief Fill ℓ̂ (resized to k) and return λ̂ ∈ [0, 1].
+  virtual double ComputeExactRisks(std::vector<double>* exact_risks) = 0;
+
+  /// \brief Draw x ~ D̃ and append the indices {i : L(h_i(x), f(x)) = 1}
+  /// to *hits (the caller clears the vector).
+  virtual void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) = 0;
+
+  /// \brief Upper bound on VC(H) (e.g. Lemma 5 / Corollary 22).
+  virtual double VcDimension() const = 0;
+
+  /// \brief Optional: an independent sampling clone for one worker thread.
+  ///
+  /// Samples are i.i.d., so generation parallelizes trivially — the paper
+  /// notes its framework "can be potentially combined with parallel and
+  /// distributed methods". A clone must draw from the same distribution D̃
+  /// but own its scratch state (BFS buffers etc.). Return nullptr (the
+  /// default) to keep the run single-threaded.
+  virtual std::unique_ptr<HypothesisRankingProblem> CloneForSampling() {
+    return nullptr;
+  }
+};
+
+/// \brief Parameters of Algorithm 1.
+struct SaphyraOptions {
+  /// Target accuracy ε of the (ε,δ)-estimation (Eq. 7).
+  double epsilon = 0.05;
+  /// Failure probability δ.
+  double delta = 0.01;
+  /// Constant c of Lemma 4 ("approximately 0.5").
+  double vc_constant = 0.5;
+  /// RNG seed; pilot sampling uses an independent derived stream, as the
+  /// paper requires ("the samples here are independent with the samples
+  /// in x").
+  uint64_t seed = 1;
+  /// Lower bound on the initial sample size, so the adaptive loop has a
+  /// meaningful variance estimate even when ε′ is huge.
+  uint64_t min_initial_samples = 32;
+  /// Worker threads for sample generation (1 = serial). Parallel runs need
+  /// the problem to implement CloneForSampling; they are deterministic for
+  /// a fixed (seed, num_threads) pair but differ from the serial stream.
+  uint32_t num_threads = 1;
+};
+
+/// \brief Diagnostics and output of Algorithm 1.
+struct SaphyraResult {
+  /// Combined estimates ℓ_i = ℓ̂_i + λ·ℓ̃_i (Eq. 8); the (ε,δ)-estimates of
+  /// the expected risks R(h_i) (Theorem 6).
+  std::vector<double> combined_risks;
+  /// Exact-subspace risks ℓ̂_i.
+  std::vector<double> exact_risks;
+  /// Approximate-subspace estimates ℓ̃_i (empirical means over X̃).
+  std::vector<double> approx_risks;
+
+  double lambda_hat = 0.0;     ///< Pr[x ∈ X̂]
+  double lambda = 1.0;         ///< Pr[x ∈ X̃] = 1 − λ̂
+  double epsilon_prime = 0.0;  ///< ε′ = ε/λ
+  uint64_t pilot_samples = 0;
+  uint64_t samples_used = 0;   ///< N of the main estimation loop
+  uint64_t max_samples = 0;    ///< Nmax from the VC bound
+  uint32_t rounds_used = 0;
+  /// True if the empirical-Bernstein check triggered before Nmax.
+  bool stopped_early = false;
+};
+
+/// \brief Run Algorithm 1 (SaPHyRa) on a problem instance.
+///
+/// Returns (ε,δ)-estimates of the expected risks: with probability at least
+/// 1 − δ, |R(h_i) − ℓ_i| < ε for every i (Theorem 6).
+SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
+                         const SaphyraOptions& options);
+
+/// \brief Direct estimation baseline (§III-A): no partition, fixed sample
+/// size N = c/ε²(VC + ln 1/δ). Used by the ablation benchmarks to isolate
+/// the contribution of the sample-space partition.
+SaphyraResult RunDirectEstimation(HypothesisRankingProblem* problem,
+                                  const SaphyraOptions& options);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_CORE_SAPHYRA_H_

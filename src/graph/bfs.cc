@@ -1,0 +1,92 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+
+namespace saphyra {
+
+BfsResult Bfs(const Graph& g, NodeId source) {
+  BfsResult r;
+  r.dist.assign(g.num_nodes(), kUnreachable);
+  r.order.reserve(64);
+  r.dist[source] = 0;
+  r.order.push_back(source);
+  for (size_t head = 0; head < r.order.size(); ++head) {
+    NodeId u = r.order[head];
+    uint32_t du = r.dist[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (r.dist[v] == kUnreachable) {
+        r.dist[v] = du + 1;
+        r.order.push_back(v);
+      }
+    }
+  }
+  return r;
+}
+
+SpDag BfsWithCounts(const Graph& g, NodeId source,
+                    const std::function<bool(NodeId, NodeId)>* edge_filter) {
+  SpDag r;
+  r.dist.assign(g.num_nodes(), kUnreachable);
+  r.sigma.assign(g.num_nodes(), 0.0);
+  r.dist[source] = 0;
+  r.sigma[source] = 1.0;
+  r.order.push_back(source);
+  for (size_t head = 0; head < r.order.size(); ++head) {
+    NodeId u = r.order[head];
+    uint32_t du = r.dist[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (edge_filter != nullptr && !(*edge_filter)(u, v)) continue;
+      if (r.dist[v] == kUnreachable) {
+        r.dist[v] = du + 1;
+        r.order.push_back(v);
+      }
+      if (r.dist[v] == du + 1) {
+        r.sigma[v] += r.sigma[u];
+      }
+    }
+  }
+  return r;
+}
+
+uint32_t Eccentricity(const Graph& g, NodeId source) {
+  BfsResult r = Bfs(g, source);
+  uint32_t ecc = 0;
+  for (uint32_t d : r.dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+uint32_t TwoSweepDiameterLowerBound(const Graph& g, NodeId seed) {
+  if (g.num_nodes() == 0) return 0;
+  BfsResult first = Bfs(g, seed);
+  NodeId far = seed;
+  uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (first.dist[v] != kUnreachable && first.dist[v] > best) {
+      best = first.dist[v];
+      far = v;
+    }
+  }
+  return Eccentricity(g, far);
+}
+
+uint32_t DiameterUpperBound(const Graph& g, NodeId seed) {
+  if (g.num_nodes() == 0) return 0;
+  return 2 * Eccentricity(g, seed);
+}
+
+uint32_t ExactDiameter(const Graph& g) {
+  uint32_t diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    diam = std::max(diam, Eccentricity(g, v));
+  }
+  return diam;
+}
+
+BfsScratch::BfsScratch(NodeId num_nodes)
+    : dist_(num_nodes, kUnreachable),
+      sigma_(num_nodes, 0.0),
+      epoch_of_(num_nodes, 0) {}
+
+}  // namespace saphyra

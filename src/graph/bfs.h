@@ -1,0 +1,113 @@
+#ifndef SAPHYRA_GRAPH_BFS_H_
+#define SAPHYRA_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace saphyra {
+
+/// Distance value for unreachable nodes.
+constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// \brief Result of a single-source BFS.
+struct BfsResult {
+  /// dist[v] = hop distance from the source, kUnreachable if disconnected.
+  std::vector<uint32_t> dist;
+  /// Nodes in visit order (source first). Useful for reverse sweeps.
+  std::vector<NodeId> order;
+};
+
+/// \brief Plain single-source BFS over the whole graph.
+BfsResult Bfs(const Graph& g, NodeId source);
+
+/// \brief Single-source shortest-path DAG: distances plus path counts.
+///
+/// sigma[v] = number of distinct shortest paths from the source to v
+/// (the sigma_sv of Eq. 3). Counts are doubles, as in Brandes' algorithm:
+/// path counts overflow 64-bit integers on large graphs, and the
+/// estimators only ever use ratios of counts.
+struct SpDag {
+  std::vector<uint32_t> dist;
+  std::vector<double> sigma;
+  std::vector<NodeId> order;  // BFS visit order (non-decreasing distance)
+};
+
+/// \brief BFS from `source` computing distances and shortest-path counts.
+///
+/// If `edge_filter` is non-null, only arcs (u,v) with edge_filter(u,v)==true
+/// are traversed; the intra-component samplers use this to restrict the walk
+/// to one biconnected component.
+SpDag BfsWithCounts(
+    const Graph& g, NodeId source,
+    const std::function<bool(NodeId, NodeId)>* edge_filter = nullptr);
+
+/// \brief Eccentricity of `source` within its connected component.
+uint32_t Eccentricity(const Graph& g, NodeId source);
+
+/// \brief Lower bound on the diameter via the classic double-sweep heuristic.
+///
+/// BFS from `seed`, then BFS again from the farthest node found; the second
+/// eccentricity is a diameter lower bound (and is exact on trees).
+uint32_t TwoSweepDiameterLowerBound(const Graph& g, NodeId seed = 0);
+
+/// \brief Upper bound on the diameter: 2 * eccentricity(seed).
+uint32_t DiameterUpperBound(const Graph& g, NodeId seed = 0);
+
+/// \brief Exact diameter by running BFS from every node. O(nm); tests only.
+uint32_t ExactDiameter(const Graph& g);
+
+/// \brief Reusable BFS scratch space for hot sampling loops.
+///
+/// The samplers run millions of truncated BFS traversals; allocating the
+/// dist/sigma arrays each time would dominate. BfsScratch keeps the arrays
+/// alive and resets only the touched entries (epoch trick) between runs.
+class BfsScratch {
+ public:
+  explicit BfsScratch(NodeId num_nodes);
+
+  /// dist/sigma views valid until the next Reset().
+  uint32_t dist(NodeId v) const {
+    return epoch_of_[v] == epoch_ ? dist_[v] : kUnreachable;
+  }
+  double sigma(NodeId v) const {
+    return epoch_of_[v] == epoch_ ? sigma_[v] : 0.0;
+  }
+
+  void set_dist(NodeId v, uint32_t d) {
+    Touch(v);
+    dist_[v] = d;
+  }
+  void set_sigma(NodeId v, double s) {
+    Touch(v);
+    sigma_[v] = s;
+  }
+  void add_sigma(NodeId v, double s) {
+    Touch(v);
+    sigma_[v] += s;
+  }
+
+  /// \brief Invalidate all entries in O(1).
+  void Reset() { ++epoch_; }
+
+ private:
+  void Touch(NodeId v) {
+    if (epoch_of_[v] != epoch_) {
+      epoch_of_[v] = epoch_;
+      dist_[v] = kUnreachable;
+      sigma_[v] = 0.0;
+    }
+  }
+
+  std::vector<uint32_t> dist_;
+  std::vector<double> sigma_;
+  std::vector<uint64_t> epoch_of_;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_GRAPH_BFS_H_

@@ -1,0 +1,70 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+ComponentLabels ConnectedComponents(const Graph& g) {
+  ComponentLabels out;
+  out.component.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> queue;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (out.component[s] != kInvalidNode) continue;
+    NodeId label = out.num_components();
+    out.size.push_back(0);
+    queue.clear();
+    queue.push_back(s);
+    out.component[s] = label;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId u = queue[head];
+      ++out.size[label];
+      for (NodeId v : g.neighbors(u)) {
+        if (out.component[v] == kInvalidNode) {
+          out.component[v] = label;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ConnectedComponents(g).num_components() == 1;
+}
+
+Graph LargestComponent(const Graph& g, std::vector<NodeId>* old_to_new) {
+  ComponentLabels labels = ConnectedComponents(g);
+  if (labels.num_components() == 0) {
+    if (old_to_new != nullptr) old_to_new->clear();
+    return Graph();
+  }
+  NodeId best = 0;
+  for (NodeId c = 1; c < labels.num_components(); ++c) {
+    if (labels.size[c] > labels.size[best]) best = c;
+  }
+  std::vector<NodeId> mapping(g.num_nodes(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (labels.component[v] == best) mapping[v] = next++;
+  }
+  GraphBuilder builder;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (mapping[u] == kInvalidNode) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && mapping[v] != kInvalidNode) {
+        builder.AddEdge(mapping[u], mapping[v]);
+      }
+    }
+  }
+  Graph out;
+  Status st = builder.Build(next, &out);
+  SAPHYRA_CHECK_MSG(st.ok(), st.ToString().c_str());
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return out;
+}
+
+}  // namespace saphyra

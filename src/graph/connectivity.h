@@ -1,0 +1,37 @@
+#ifndef SAPHYRA_GRAPH_CONNECTIVITY_H_
+#define SAPHYRA_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace saphyra {
+
+/// \brief Connected-component labeling.
+struct ComponentLabels {
+  /// component[v] in [0, num_components)
+  std::vector<NodeId> component;
+  /// size[c] = number of nodes in component c
+  std::vector<NodeId> size;
+
+  NodeId num_components() const { return static_cast<NodeId>(size.size()); }
+};
+
+/// \brief Label connected components with iterative BFS. O(n + m).
+ComponentLabels ConnectedComponents(const Graph& g);
+
+/// \brief True iff the graph is connected (empty graphs count as connected).
+bool IsConnected(const Graph& g);
+
+/// \brief Extract the largest connected component.
+///
+/// Nodes are renumbered to 0..k-1 preserving relative order. If
+/// `old_to_new` is non-null it receives the mapping (kInvalidNode for nodes
+/// outside the component). The paper's datasets are preprocessed the same
+/// way: the evaluation operates on each network's giant component.
+Graph LargestComponent(const Graph& g,
+                       std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,308 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace saphyra {
+
+namespace {
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+Graph BuildOrDie(GraphBuilder* builder, NodeId n) {
+  Graph g;
+  Status st = builder->Build(n, &g);
+  SAPHYRA_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return g;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(NodeId n, EdgeIndex m, uint64_t seed) {
+  SAPHYRA_CHECK(n >= 2);
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  SAPHYRA_CHECK_MSG(m <= max_edges, "too many edges requested");
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  GraphBuilder builder;
+  builder.Reserve(m);
+  while (seen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return BuildOrDie(&builder, n);
+}
+
+Graph BarabasiAlbert(NodeId n, NodeId edges_per_node, uint64_t seed) {
+  SAPHYRA_CHECK(edges_per_node >= 1);
+  SAPHYRA_CHECK(n > edges_per_node);
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.Reserve(static_cast<size_t>(n) * edges_per_node);
+  // Endpoint pool: picking a uniform element of the pool is equivalent to
+  // degree-proportional selection.
+  std::vector<NodeId> pool;
+  pool.reserve(2ULL * n * edges_per_node);
+  // Seed clique on the first edges_per_node + 1 nodes keeps the start
+  // connected and non-degenerate.
+  NodeId seed_nodes = edges_per_node + 1;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      builder.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  for (NodeId u = seed_nodes; u < n; ++u) {
+    targets.clear();
+    // Sample edges_per_node distinct targets by rejection; the pool is large
+    // relative to edges_per_node so rejections are rare.
+    while (targets.size() < edges_per_node) {
+      NodeId t = pool[rng.UniformInt(pool.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      builder.AddEdge(u, t);
+      pool.push_back(u);
+      pool.push_back(t);
+    }
+  }
+  return BuildOrDie(&builder, n);
+}
+
+Graph WattsStrogatz(NodeId n, NodeId k, double rewire_prob, uint64_t seed) {
+  SAPHYRA_CHECK(k >= 2 && k % 2 == 0);
+  SAPHYRA_CHECK(n > k);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  GraphBuilder builder;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId j = 1; j <= k / 2; ++j) {
+      NodeId v = (u + j) % n;
+      if (rng.UniformDouble() < rewire_prob) {
+        // Rewire the far endpoint to a uniform random node.
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.UniformInt(n));
+        } while (w == u || seen.count(EdgeKey(u, w)) != 0);
+        v = w;
+      }
+      if (seen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+    }
+  }
+  return PatchConnect(BuildOrDie(&builder, n), seed ^ 0x5151);
+}
+
+Graph Rmat(uint32_t scale, uint32_t edge_factor, uint64_t seed, double a,
+           double b, double c) {
+  SAPHYRA_CHECK(scale >= 2 && scale < 31);
+  const NodeId n = static_cast<NodeId>(1) << scale;
+  const uint64_t m = static_cast<uint64_t>(n) * edge_factor;
+  const double d = 1.0 - a - b - c;
+  SAPHYRA_CHECK(d >= 0.0);
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.Reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    NodeId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.UniformDouble();
+      // Quadrant choice with slight per-level noise, as in Graph500.
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= (1u << bit);
+      } else if (r < a + b + c) {
+        u |= (1u << bit);
+      } else {
+        u |= (1u << bit);
+        v |= (1u << bit);
+      }
+    }
+    builder.AddEdge(u, v);  // self loops dropped by the builder
+  }
+  return BuildOrDie(&builder, n);
+}
+
+Graph RandomTree(NodeId n, uint64_t seed) {
+  SAPHYRA_CHECK(n >= 1);
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (NodeId u = 1; u < n; ++u) {
+    NodeId parent = static_cast<NodeId>(rng.UniformInt(u));
+    builder.AddEdge(u, parent);
+  }
+  return BuildOrDie(&builder, n);
+}
+
+RoadNetwork RoadGrid(NodeId width, NodeId height, double keep_prob,
+                     uint64_t seed) {
+  SAPHYRA_CHECK(width >= 2 && height >= 2);
+  Rng rng(seed);
+  const NodeId n = width * height;
+  GraphBuilder builder;
+  auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width && rng.UniformDouble() < keep_prob) {
+        builder.AddEdge(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < height && rng.UniformDouble() < keep_prob) {
+        builder.AddEdge(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+  Graph full = BuildOrDie(&builder, n);
+  std::vector<NodeId> mapping;
+  Graph lcc = LargestComponent(full, &mapping);
+  RoadNetwork out;
+  out.x.resize(lcc.num_nodes());
+  out.y.resize(lcc.num_nodes());
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      NodeId nv = mapping[id(x, y)];
+      if (nv != kInvalidNode) {
+        out.x[nv] = static_cast<float>(x);
+        out.y[nv] = static_cast<float>(y);
+      }
+    }
+  }
+  out.graph = std::move(lcc);
+  return out;
+}
+
+std::vector<NodeId> NodesInRectangle(const RoadNetwork& road, float x0,
+                                     float y0, float x1, float y1) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < road.graph.num_nodes(); ++v) {
+    if (road.x[v] >= x0 && road.x[v] <= x1 && road.y[v] >= y0 &&
+        road.y[v] <= y1) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Graph StochasticBlockModel(NodeId n, uint32_t blocks, double p_in,
+                           double p_out, uint64_t seed) {
+  SAPHYRA_CHECK(blocks >= 1 && n >= blocks);
+  SAPHYRA_CHECK(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0);
+  Rng rng(seed);
+  const NodeId block_size = n / blocks;
+  auto block_of = [&](NodeId v) {
+    return std::min<uint32_t>(v / block_size, blocks - 1);
+  };
+  GraphBuilder b;
+  // Geometric skipping keeps the sparse case O(n + edges): within each row
+  // u the next accepted candidate v jumps ahead by ~Geom(p).
+  auto add_row = [&](NodeId u, double p, bool same_block) {
+    if (p <= 0.0) return;
+    const double log1mp = std::log1p(-std::min(p, 1.0 - 1e-12));
+    NodeId v = u;  // candidates are v in (u, n)
+    for (;;) {
+      uint64_t skip =
+          p >= 1.0 ? 0
+                   : static_cast<uint64_t>(std::floor(
+                         std::log1p(-rng.UniformDouble()) / log1mp));
+      if (skip >= static_cast<uint64_t>(n - v)) break;
+      v = static_cast<NodeId>(v + 1 + skip);
+      if (v >= n) break;
+      if ((block_of(u) == block_of(v)) == same_block) b.AddEdge(u, v);
+    }
+  };
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    add_row(u, p_in, /*same_block=*/true);
+    if (blocks > 1) add_row(u, p_out, /*same_block=*/false);
+  }
+  return BuildOrDie(&b, n);
+}
+
+std::vector<NodeId> PowerLawDegreeSequence(NodeId n, double alpha,
+                                           NodeId min_degree,
+                                           NodeId max_degree, uint64_t seed) {
+  SAPHYRA_CHECK(alpha > 1.0);
+  SAPHYRA_CHECK(min_degree >= 1 && max_degree >= min_degree);
+  Rng rng(seed);
+  std::vector<NodeId> degrees(n);
+  const double a = 1.0 - alpha;
+  const double lo = std::pow(static_cast<double>(min_degree), a);
+  const double hi = std::pow(static_cast<double>(max_degree) + 1.0, a);
+  uint64_t sum = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    // Inverse-CDF sampling of a bounded power law.
+    double u = rng.UniformDouble();
+    double d = std::pow(lo + u * (hi - lo), 1.0 / a);
+    degrees[i] = std::min<NodeId>(
+        max_degree,
+        std::max<NodeId>(min_degree, static_cast<NodeId>(d)));
+    sum += degrees[i];
+  }
+  if (sum % 2 == 1) ++degrees[0];  // stub count must be even
+  return degrees;
+}
+
+Graph ConfigurationModel(const std::vector<NodeId>& degrees, uint64_t seed) {
+  uint64_t stubs_total = 0;
+  for (NodeId d : degrees) stubs_total += d;
+  SAPHYRA_CHECK_MSG(stubs_total % 2 == 0, "degree sum must be even");
+  Rng rng(seed);
+  std::vector<NodeId> stubs;
+  stubs.reserve(stubs_total);
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    for (NodeId j = 0; j < degrees[v]; ++j) stubs.push_back(v);
+  }
+  // Fisher–Yates shuffle, then pair consecutive stubs.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    size_t j = rng.UniformInt(i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  GraphBuilder b;
+  b.Reserve(stubs.size() / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    b.AddEdge(stubs[i], stubs[i + 1]);  // self loops dropped by the builder
+  }
+  return BuildOrDie(&b, static_cast<NodeId>(degrees.size()));
+}
+
+Graph PatchConnect(const Graph& g, uint64_t seed) {
+  ComponentLabels labels = ConnectedComponents(g);
+  if (labels.num_components() <= 1) return g;
+  Rng rng(seed);
+  // One representative per component; chain them with random offsets so the
+  // patch edges do not all share endpoints.
+  std::vector<NodeId> rep(labels.num_components(), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    NodeId c = labels.component[v];
+    if (rep[c] == kInvalidNode || rng.Bernoulli(0.25)) rep[c] = v;
+  }
+  GraphBuilder builder;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  for (NodeId c = 1; c < labels.num_components(); ++c) {
+    builder.AddEdge(rep[c - 1], rep[c]);
+  }
+  Graph out;
+  Status st = builder.Build(g.num_nodes(), &out);
+  SAPHYRA_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return out;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,97 @@
+#ifndef SAPHYRA_GRAPH_GENERATORS_H_
+#define SAPHYRA_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace saphyra {
+
+/// Synthetic network generators.
+///
+/// The paper evaluates on Flickr, LiveJournal, Orkut (SNAP social networks)
+/// and USA-road (DIMACS challenge 9). Those corpora are not available
+/// offline, so the benchmark harness substitutes generator output with
+/// matching structure: heavy-tailed small-diameter social graphs
+/// (Barabási–Albert, R-MAT) and a long-diameter, cutpoint-rich road grid
+/// with planar coordinates. The real files can be dropped in via graph/io.h
+/// without touching any algorithm code.
+
+/// \brief Erdős–Rényi G(n, m): m distinct uniform random edges.
+Graph ErdosRenyi(NodeId n, EdgeIndex m, uint64_t seed);
+
+/// \brief Barabási–Albert preferential attachment.
+///
+/// Starts from a small clique and attaches each new node to
+/// `edges_per_node` existing nodes chosen proportionally to degree.
+/// Produces the heavy-tailed degree distribution and tiny diameter of the
+/// paper's social networks; the graph is connected by construction.
+Graph BarabasiAlbert(NodeId n, NodeId edges_per_node, uint64_t seed);
+
+/// \brief Watts–Strogatz small world: ring lattice with rewiring.
+Graph WattsStrogatz(NodeId n, NodeId k, double rewire_prob, uint64_t seed);
+
+/// \brief R-MAT (recursive matrix) generator, Graph500-style parameters.
+///
+/// `scale` gives n = 2^scale nodes; `edge_factor` undirected edges per node.
+/// Duplicate edges and self loops are dropped, so the final count is
+/// slightly below n * edge_factor.
+Graph Rmat(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+           double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// \brief Uniform random spanning tree shape (random attachment tree).
+///
+/// Every edge of a tree is its own biconnected component and every internal
+/// node is a cutpoint — the extreme case for the bi-component machinery.
+Graph RandomTree(NodeId n, uint64_t seed);
+
+/// \brief Road-network surrogate with coordinates.
+struct RoadNetwork {
+  Graph graph;
+  /// Planar coordinates per node (grid units); used by the USA-road case
+  /// study to carve geographic sub-areas like the paper's NYC/BAY/CO/FL.
+  std::vector<float> x;
+  std::vector<float> y;
+};
+
+/// \brief Grid-based road network: width*height junctions, lattice edges,
+/// each kept with probability `keep_prob`, restricted to the largest
+/// connected component.
+///
+/// Deleting lattice edges creates bridges, dangling subtrees and many small
+/// biconnected components — the block-cut-tree-rich regime of real road
+/// networks — while keeping a Θ(width + height) diameter.
+RoadNetwork RoadGrid(NodeId width, NodeId height, double keep_prob,
+                     uint64_t seed);
+
+/// \brief Nodes whose coordinates fall in [x0,x1] x [y0,y1].
+std::vector<NodeId> NodesInRectangle(const RoadNetwork& road, float x0,
+                                     float y0, float x1, float y1);
+
+/// \brief Stochastic block model: `blocks` communities of equal size,
+/// within-block edge probability `p_in`, cross-block `p_out`.
+///
+/// Community structure concentrates betweenness on the few cross-block
+/// "broker" nodes — a qualitatively different ranking workload from BA/WS.
+Graph StochasticBlockModel(NodeId n, uint32_t blocks, double p_in,
+                           double p_out, uint64_t seed);
+
+/// \brief Configuration-model graph with the given degree sequence
+/// (Σ degrees must be even). Self loops and multi-edges produced by the
+/// stub matching are dropped, so realized degrees can be slightly lower.
+Graph ConfigurationModel(const std::vector<NodeId>& degrees, uint64_t seed);
+
+/// \brief Power-law degree sequence of length n with exponent `alpha` and
+/// degrees in [min_degree, max_degree]; the sum is patched to be even.
+std::vector<NodeId> PowerLawDegreeSequence(NodeId n, double alpha,
+                                           NodeId min_degree,
+                                           NodeId max_degree, uint64_t seed);
+
+/// \brief Connect a possibly-disconnected graph by adding one edge between
+/// consecutive components (used to make ER/R-MAT output connected).
+Graph PatchConnect(const Graph& g, uint64_t seed);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_GRAPH_GENERATORS_H_

@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace saphyra {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::UndirectedEdges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Graph(n=%u, m=%llu, max_deg=%u)",
+                num_nodes_, static_cast<unsigned long long>(num_edges()),
+                max_degree_);
+  return buf;
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;
+  edges_.emplace_back(u, v);
+  max_id_ = std::max(max_id_, std::max(u, v));
+  has_edges_ = true;
+}
+
+Status GraphBuilder::Build(Graph* out) {
+  return Build(has_edges_ ? max_id_ + 1 : 0, out);
+}
+
+Status GraphBuilder::Build(NodeId num_nodes, Graph* out) {
+  for (const auto& [u, v] : edges_) {
+    if (u >= num_nodes || v >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint exceeds node count");
+    }
+  }
+  // Count directed arcs, then fill with a second pass (classic CSR build).
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<NodeId> adj(edges_.size() * 2);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+  // Sort each adjacency list and deduplicate parallel edges in place.
+  std::vector<NodeId> dedup;
+  dedup.reserve(adj.size());
+  std::vector<EdgeIndex> new_offsets(static_cast<size_t>(num_nodes) + 1, 0);
+  NodeId max_degree = 0;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    auto begin = adj.begin() + static_cast<ptrdiff_t>(offsets[u]);
+    auto end = adj.begin() + static_cast<ptrdiff_t>(offsets[u + 1]);
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    dedup.insert(dedup.end(), begin, last);
+    new_offsets[u + 1] = dedup.size();
+    max_degree = std::max(max_degree, static_cast<NodeId>(last - begin));
+  }
+  out->num_nodes_ = num_nodes;
+  out->max_degree_ = max_degree;
+  out->offsets_ = std::move(new_offsets);
+  out->adj_ = std::move(dedup);
+  return Status::OK();
+}
+
+}  // namespace saphyra

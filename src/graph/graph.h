@@ -1,0 +1,115 @@
+#ifndef SAPHYRA_GRAPH_GRAPH_H_
+#define SAPHYRA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace saphyra {
+
+/// Node identifier. 32 bits covers the graph sizes this build targets
+/// (hundreds of millions of nodes) at half the memory of 64-bit ids.
+using NodeId = uint32_t;
+
+/// Edge-array index (CSR offset). 64-bit: edge counts exceed 2^32 on the
+/// paper's largest inputs.
+using EdgeIndex = uint64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// \brief Immutable undirected, unweighted graph in CSR form.
+///
+/// This is the substrate every algorithm in the library runs on. The paper
+/// treats all networks as undirected and unweighted (§V-A); each undirected
+/// edge {u,v} is stored twice (u→v and v→u). Adjacency lists are sorted,
+/// which gives O(log deg) membership tests (used heavily by the 2-hop exact
+/// subspace computation) and deterministic iteration order.
+///
+/// Construction goes through GraphBuilder, which deduplicates parallel edges
+/// and removes self loops.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// \brief Number of nodes.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// \brief Number of undirected edges (each counted once).
+  EdgeIndex num_edges() const { return adj_.size() / 2; }
+
+  /// \brief Number of directed arcs stored (2 * num_edges()).
+  EdgeIndex num_arcs() const { return adj_.size(); }
+
+  /// \brief Degree of node v.
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// \brief Sorted neighbors of node v.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// \brief CSR offset of the first neighbor of v (for edge-parallel data).
+  EdgeIndex offset(NodeId v) const { return offsets_[v]; }
+
+  /// \brief True iff the undirected edge {u, v} exists. O(log min-degree).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// \brief Maximum degree over all nodes (0 for the empty graph).
+  NodeId max_degree() const { return max_degree_; }
+
+  /// \brief All undirected edges as (u, v) pairs with u < v.
+  std::vector<std::pair<NodeId, NodeId>> UndirectedEdges() const;
+
+  /// \brief Short "n=..., m=..." summary for logs and bench headers.
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<EdgeIndex> offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> adj_;         // size num_arcs
+};
+
+/// \brief Accumulates an edge list and produces a canonical Graph.
+///
+/// Self loops are dropped; parallel edges are deduplicated; adjacency lists
+/// come out sorted. Node ids must be < the node count passed to Build (or
+/// the maximum id + 1 when auto-sizing).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// \brief Pre-size the internal edge buffer.
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  /// \brief Add an undirected edge {u, v}. Self loops are ignored.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// \brief Number of edges added so far (before dedup).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// \brief Build the CSR graph with exactly `num_nodes` nodes.
+  ///
+  /// Returns InvalidArgument if any endpoint is >= num_nodes.
+  Status Build(NodeId num_nodes, Graph* out);
+
+  /// \brief Build, sizing the node count as max id + 1.
+  Status Build(Graph* out);
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  NodeId max_id_ = 0;
+  bool has_edges_ = false;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_GRAPH_GRAPH_H_

@@ -1,0 +1,118 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace saphyra {
+
+Status LoadSnapEdgeList(const std::string& path, Graph* out,
+                        bool compact_ids) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, NodeId> remap;
+  std::string line;
+  uint64_t line_no = 0;
+  auto map_id = [&](uint64_t raw) -> NodeId {
+    if (!compact_ids) return static_cast<NodeId>(raw);
+    auto [it, inserted] = remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    uint64_t u, v;
+    std::istringstream ss(line);
+    if (!(ss >> u >> v)) {
+      return Status::IOError("malformed edge at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    if (!compact_ids && (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull)) {
+      return Status::IOError("node id overflows 32 bits at line " +
+                             std::to_string(line_no));
+    }
+    builder.AddEdge(map_id(u), map_id(v));
+  }
+  return builder.Build(out);
+}
+
+Status SaveSnapEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream outf(path);
+  if (!outf) return Status::IOError("cannot open " + path + " for writing");
+  outf << "# saphyra edge list: n=" << g.num_nodes()
+       << " m=" << g.num_edges() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) outf << u << '\t' << v << '\n';
+    }
+  }
+  if (!outf) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Status LoadDimacsGraph(const std::string& path, Graph* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  GraphBuilder builder;
+  std::string line;
+  uint64_t declared_nodes = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ss(line);
+    char tag;
+    ss >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      uint64_t n = 0, m = 0;
+      if (!(ss >> kind >> n >> m)) {
+        return Status::IOError("malformed problem line in " + path);
+      }
+      declared_nodes = n;
+      saw_header = true;
+    } else if (tag == 'a' || tag == 'e') {
+      uint64_t u, v;
+      if (!(ss >> u >> v)) {
+        return Status::IOError("malformed arc line in " + path);
+      }
+      if (u == 0 || v == 0) {
+        return Status::IOError("DIMACS ids are 1-indexed; got 0 in " + path);
+      }
+      builder.AddEdge(static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1));
+    }
+  }
+  if (!saw_header) return Status::IOError("missing 'p' header in " + path);
+  return builder.Build(static_cast<NodeId>(declared_nodes), out);
+}
+
+Status LoadDimacsCoordinates(const std::string& path,
+                             std::vector<float>* coords) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  coords->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c' || line[0] == 'p') continue;
+    std::istringstream ss(line);
+    char tag;
+    uint64_t id;
+    double x, y;
+    ss >> tag;
+    if (tag != 'v') continue;
+    if (!(ss >> id >> x >> y)) {
+      return Status::IOError("malformed coordinate line in " + path);
+    }
+    if (id == 0) return Status::IOError("DIMACS ids are 1-indexed");
+    size_t need = 2 * id;  // ids are 1-indexed
+    if (coords->size() < need) coords->resize(need, 0.0f);
+    (*coords)[2 * (id - 1)] = static_cast<float>(x);
+    (*coords)[2 * (id - 1) + 1] = static_cast<float>(y);
+  }
+  return Status::OK();
+}
+
+}  // namespace saphyra

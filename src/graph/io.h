@@ -1,0 +1,41 @@
+#ifndef SAPHYRA_GRAPH_IO_H_
+#define SAPHYRA_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace saphyra {
+
+/// Readers for the two on-disk formats used by the paper's corpora.
+///
+/// * SNAP edge lists (Flickr, LiveJournal, Orkut): whitespace-separated
+///   "u v" pairs, '#' comment lines. Direction and weights are ignored,
+///   matching the paper's preprocessing ("treating the networks as
+///   undirected and unweighted").
+/// * DIMACS shortest-path challenge (USA-road): ".gr" arc files with
+///   "p sp n m" header and "a u v w" arcs (1-indexed, weights ignored), and
+///   ".co" coordinate files with "v id x y" lines.
+
+/// \brief Load a SNAP-style edge list. Node ids are renumbered compactly in
+/// first-appearance order when `compact_ids` is true; otherwise the raw ids
+/// are used directly (they must be < 2^32).
+Status LoadSnapEdgeList(const std::string& path, Graph* out,
+                        bool compact_ids = true);
+
+/// \brief Write a graph as a SNAP-style edge list (one "u v" per line).
+Status SaveSnapEdgeList(const Graph& g, const std::string& path);
+
+/// \brief Load a DIMACS ".gr" file as an undirected, unweighted graph.
+Status LoadDimacsGraph(const std::string& path, Graph* out);
+
+/// \brief Load a DIMACS ".co" coordinate file. coords[2*i] = x, [2*i+1] = y
+/// for node i (0-indexed after the DIMACS 1-indexing shift).
+Status LoadDimacsCoordinates(const std::string& path,
+                             std::vector<float>* coords);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_GRAPH_IO_H_

@@ -1,0 +1,141 @@
+#include "kpath/kpath.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/vc.h"
+#include "util/logging.h"
+
+namespace saphyra {
+
+KPathProblem::KPathProblem(const Graph& g, std::vector<NodeId> targets,
+                           uint32_t k)
+    : g_(g), targets_(std::move(targets)), k_(k) {
+  SAPHYRA_CHECK(k_ >= 1);
+  node_to_hyp_.assign(g.num_nodes(), -1);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    SAPHYRA_CHECK(targets_[i] < g.num_nodes());
+    SAPHYRA_CHECK_MSG(node_to_hyp_[targets_[i]] == -1, "duplicate target");
+    node_to_hyp_[targets_[i]] = static_cast<int32_t>(i);
+  }
+}
+
+double KPathProblem::ComputeExactRisks(std::vector<double>* exact_risks) {
+  const double n = static_cast<double>(g_.num_nodes());
+  exact_risks->assign(targets_.size(), 0.0);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    NodeId v = targets_[i];
+    // A 1-hop walk contains v iff it starts at v (any step), or starts at a
+    // neighbor u and steps onto v (probability 1/deg(u)).
+    double mass = g_.degree(v) > 0 ? 1.0 : 0.0;
+    for (NodeId u : g_.neighbors(v)) {
+      mass += 1.0 / static_cast<double>(g_.degree(u));
+    }
+    (*exact_risks)[i] = mass / (n * static_cast<double>(k_));
+  }
+  // λ̂ = Pr[l = 1] restricted to start nodes that can move at all; isolated
+  // start nodes yield an empty walk that never lies in X̂.
+  uint64_t movable = 0;
+  for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+    if (g_.degree(u) > 0) ++movable;
+  }
+  return static_cast<double>(movable) / n / static_cast<double>(k_);
+}
+
+void KPathProblem::SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) {
+  const NodeId n = g_.num_nodes();
+  // Rejection against the exact subspace: resample while l == 1 with a
+  // movable start (exactly the walks X̂ covers).
+  for (;;) {
+    NodeId u = static_cast<NodeId>(rng->UniformInt(n));
+    uint32_t l = 1 + static_cast<uint32_t>(rng->UniformInt(k_));
+    if (l == 1 && g_.degree(u) > 0) continue;  // in X̂
+    walk_.clear();
+    walk_.push_back(u);
+    NodeId cur = u;
+    for (uint32_t step = 0; step < l; ++step) {
+      if (g_.degree(cur) == 0) break;
+      cur = g_.neighbors(cur)[rng->UniformInt(g_.degree(cur))];
+      walk_.push_back(cur);
+    }
+    // Report distinct targets on the walk.
+    for (size_t i = 0; i < walk_.size(); ++i) {
+      int32_t h = node_to_hyp_[walk_[i]];
+      if (h < 0) continue;
+      bool seen = false;
+      for (size_t j = 0; j < i && !seen; ++j) seen = walk_[j] == walk_[i];
+      if (!seen) hits->push_back(static_cast<uint32_t>(h));
+    }
+    return;
+  }
+}
+
+double KPathProblem::VcDimension() const {
+  return PiMaxVcBound(static_cast<uint64_t>(k_) + 1);
+}
+
+std::vector<double> EstimateKPathCentrality(const Graph& g,
+                                            const std::vector<NodeId>& targets,
+                                            uint32_t k,
+                                            const SaphyraOptions& options) {
+  KPathProblem problem(g, targets, k);
+  SaphyraResult res = RunSaphyra(&problem, options);
+  return res.combined_risks;
+}
+
+namespace {
+
+/// Recursive exhaustive enumeration: extend the walk, and at every length
+/// 1..k record the membership probability mass for each target.
+void Enumerate(const Graph& g, std::vector<NodeId>* walk, uint32_t remaining,
+               double prob, const std::vector<int32_t>& node_to_hyp,
+               std::vector<double>* acc) {
+  if (remaining == 0) {
+    // Credit each distinct target on this completed walk.
+    for (size_t i = 0; i < walk->size(); ++i) {
+      int32_t h = node_to_hyp[(*walk)[i]];
+      if (h < 0) continue;
+      bool seen = false;
+      for (size_t j = 0; j < i && !seen; ++j) seen = (*walk)[j] == (*walk)[i];
+      if (!seen) (*acc)[h] += prob;
+    }
+    return;
+  }
+  NodeId cur = walk->back();
+  if (g.degree(cur) == 0) {
+    // Dead end: the truncated walk is what the sampler would produce.
+    Enumerate(g, walk, 0, prob, node_to_hyp, acc);
+    return;
+  }
+  double step = prob / static_cast<double>(g.degree(cur));
+  for (NodeId nxt : g.neighbors(cur)) {
+    walk->push_back(nxt);
+    Enumerate(g, walk, remaining - 1, step, node_to_hyp, acc);
+    walk->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<double> ExactKPathCentralityBruteForce(
+    const Graph& g, const std::vector<NodeId>& targets, uint32_t k) {
+  SAPHYRA_CHECK(k >= 1);
+  std::vector<int32_t> node_to_hyp(g.num_nodes(), -1);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    node_to_hyp[targets[i]] = static_cast<int32_t>(i);
+  }
+  std::vector<double> acc(targets.size(), 0.0);
+  const double n = static_cast<double>(g.num_nodes());
+  std::vector<NodeId> walk;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (uint32_t l = 1; l <= k; ++l) {
+      walk.clear();
+      walk.push_back(u);
+      Enumerate(g, &walk, l, 1.0 / (n * static_cast<double>(k)),
+                node_to_hyp, &acc);
+    }
+  }
+  return acc;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,160 @@
+#include "metrics/rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+std::vector<uint32_t> RanksDescending(const std::vector<double>& values) {
+  const size_t k = values.size();
+  std::vector<uint32_t> idx(k);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;  // deterministic tie-break by id
+  });
+  std::vector<uint32_t> rank(k);
+  for (uint32_t pos = 0; pos < k; ++pos) rank[idx[pos]] = pos + 1;
+  return rank;
+}
+
+double SpearmanCorrelation(const std::vector<double>& truth,
+                           const std::vector<double>& estimate) {
+  SAPHYRA_CHECK(truth.size() == estimate.size());
+  const size_t k = truth.size();
+  SAPHYRA_CHECK(k >= 2);
+  std::vector<uint32_t> rt = RanksDescending(truth);
+  std::vector<uint32_t> re = RanksDescending(estimate);
+  double sum_d2 = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double d = static_cast<double>(rt[i]) - static_cast<double>(re[i]);
+    sum_d2 += d * d;
+  }
+  double kk = static_cast<double>(k);
+  return 1.0 - 6.0 * sum_d2 / (kk * (kk * kk - 1.0));
+}
+
+namespace {
+
+// Count inversions of `a` by merge sort; a is permuted to sorted order.
+uint64_t CountInversions(std::vector<uint32_t>* a, size_t lo, size_t hi,
+                         std::vector<uint32_t>* scratch) {
+  if (hi - lo <= 1) return 0;
+  size_t mid = (lo + hi) / 2;
+  uint64_t inv = CountInversions(a, lo, mid, scratch) +
+                 CountInversions(a, mid, hi, scratch);
+  std::merge((*a).begin() + lo, (*a).begin() + mid, (*a).begin() + mid,
+             (*a).begin() + hi, scratch->begin() + lo);
+  // Count cross inversions: pairs (i < j) with a[i] > a[j] across halves.
+  size_t i = lo;
+  for (size_t j = mid; j < hi; ++j) {
+    while (i < mid && (*a)[i] <= (*a)[j]) ++i;
+    inv += mid - i;
+  }
+  std::copy(scratch->begin() + lo, scratch->begin() + hi, a->begin() + lo);
+  return inv;
+}
+
+}  // namespace
+
+double KendallTau(const std::vector<double>& truth,
+                  const std::vector<double>& estimate) {
+  SAPHYRA_CHECK(truth.size() == estimate.size());
+  const size_t k = truth.size();
+  SAPHYRA_CHECK(k >= 2);
+  // Order items by the truth ranking, then count inversions of the estimate
+  // ranking in that order: each inversion is a discordant pair.
+  std::vector<uint32_t> rt = RanksDescending(truth);
+  std::vector<uint32_t> re = RanksDescending(estimate);
+  std::vector<uint32_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return rt[a] < rt[b]; });
+  std::vector<uint32_t> seq(k);
+  for (size_t i = 0; i < k; ++i) seq[i] = re[order[i]];
+  std::vector<uint32_t> scratch(k);
+  uint64_t discordant = CountInversions(&seq, 0, k, &scratch);
+  double pairs = static_cast<double>(k) * (k - 1) / 2.0;
+  return 1.0 - 2.0 * static_cast<double>(discordant) / pairs;
+}
+
+double RankDeviation(const std::vector<double>& truth,
+                     const std::vector<double>& estimate) {
+  SAPHYRA_CHECK(truth.size() == estimate.size());
+  const size_t k = truth.size();
+  SAPHYRA_CHECK(k >= 1);
+  if (k == 1) return 0.0;
+  std::vector<uint32_t> rt = RanksDescending(truth);
+  std::vector<uint32_t> re = RanksDescending(estimate);
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    sum += std::abs(static_cast<double>(rt[i]) - static_cast<double>(re[i]));
+  }
+  return sum / static_cast<double>(k) / static_cast<double>(k);
+}
+
+std::vector<double> SignedRelativeErrorPercent(
+    const std::vector<double>& truth, const std::vector<double>& estimate) {
+  SAPHYRA_CHECK(truth.size() == estimate.size());
+  std::vector<double> out(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) {
+      out[i] = estimate[i] == 0.0
+                   ? 0.0
+                   : std::numeric_limits<double>::infinity();
+    } else {
+      out[i] = (estimate[i] / truth[i] - 1.0) * 100.0;
+    }
+  }
+  return out;
+}
+
+ZeroStats ClassifyZeros(const std::vector<double>& truth,
+                        const std::vector<double>& estimate) {
+  SAPHYRA_CHECK(truth.size() == estimate.size());
+  ZeroStats s;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (estimate[i] > 0.0) {
+      ++s.nonzeros;
+    } else if (truth[i] > 0.0) {
+      ++s.false_zeros;
+    } else {
+      ++s.true_zeros;
+    }
+  }
+  return s;
+}
+
+void TrialAggregate::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double TrialAggregate::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double TrialAggregate::stddev() const {
+  if (count_ < 2) return 0.0;
+  double n = static_cast<double>(count_);
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double TrialAggregate::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace saphyra

@@ -1,0 +1,74 @@
+#ifndef SAPHYRA_METRICS_RANK_H_
+#define SAPHYRA_METRICS_RANK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace saphyra {
+
+/// Ranking-quality metrics used in the paper's evaluation (§V-A).
+///
+/// Ranks are distinct integers 1..k. Ties in the underlying scores are
+/// broken by item id, exactly as the paper does ("if there are two nodes
+/// with the same betweenness centrality, we break the tie by the nodes'
+/// IDs").
+
+/// \brief Ranks of `values`: rank[i] = position of item i when sorting by
+/// value descending, ties broken by ascending id. Ranks start at 1.
+std::vector<uint32_t> RanksDescending(const std::vector<double>& values);
+
+/// \brief Spearman's rank correlation (Eq. 1) between two score vectors of
+/// equal size k ≥ 2:  r_s = 1 − 6·Σ d_i² / (k(k²−1)).
+double SpearmanCorrelation(const std::vector<double>& truth,
+                           const std::vector<double>& estimate);
+
+/// \brief Kendall's τ-a between the two tie-broken rankings, computed in
+/// O(k log k) by merge-sort inversion counting.
+double KendallTau(const std::vector<double>& truth,
+                  const std::vector<double>& estimate);
+
+/// \brief Mean absolute rank displacement, normalized by k (the "rank
+/// deviation" of the paper's Fig. 7a), in [0, 1).
+double RankDeviation(const std::vector<double>& truth,
+                     const std::vector<double>& estimate);
+
+/// \brief Signed relative error (%) of each estimate (the paper's Fig. 6):
+/// (est/truth − 1)·100; 0 if both are zero; +inf if truth = 0 < est.
+std::vector<double> SignedRelativeErrorPercent(
+    const std::vector<double>& truth, const std::vector<double>& estimate);
+
+/// \brief Classification of zero estimates (Fig. 6 discussion).
+struct ZeroStats {
+  uint64_t true_zeros = 0;   // truth == 0 and estimate == 0 (easy cases)
+  uint64_t false_zeros = 0;  // truth > 0 but estimate == 0 (rank killers)
+  uint64_t nonzeros = 0;     // estimate > 0
+};
+
+/// \brief Count true/false zeros of an estimate against the ground truth.
+ZeroStats ClassifyZeros(const std::vector<double>& truth,
+                        const std::vector<double>& estimate);
+
+/// \brief Simple streaming mean/min/max/CI aggregator for repeated trials
+/// (the paper reports means with 95% confidence intervals across subsets).
+class TrialAggregate {
+ public:
+  void Add(double x);
+  uint64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double stddev() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_METRICS_RANK_H_

@@ -1,0 +1,34 @@
+#ifndef SAPHYRA_STATS_DELTA_ALLOCATION_H_
+#define SAPHYRA_STATS_DELTA_ALLOCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace saphyra {
+
+/// \brief Variance-aware allocation of per-hypothesis failure probabilities
+/// (Eq. 13 of the paper and the surrounding text of §III-C).
+///
+/// Algorithm 1 stops once every hypothesis i satisfies
+/// ε(N, δ_i, Var_i) ≤ ε′. The union bound over both tail sides and all
+/// doubling rounds needs Σ_i 2δ_i = δ / ⌈log₂(Nmax/N0)⌉. Spreading δ
+/// uniformly wastes budget on low-variance hypotheses (they would meet ε′
+/// with far smaller δ_i); instead, a pilot sample estimates each variance,
+/// each hypothesis gets the minimal δ_i it *needs* to meet ε′ at a
+/// projected sample size (binary search on the empirical Bernstein bound),
+/// and the vector is rescaled to exhaust the budget — so high-variance
+/// hypotheses receive proportionally larger shares.
+///
+/// `pilot_variances` – per-hypothesis sample variances from the pilot run.
+/// `epsilon_prime`   – target per-hypothesis accuracy ε′.
+/// `delta_budget`    – Σ_i 2δ_i must equal this (δ / #rounds).
+/// `n0`, `n_max`     – initial and maximal sample sizes of the main loop.
+///
+/// Returns k = pilot_variances.size() strictly positive δ_i.
+std::vector<double> AllocateDeltas(const std::vector<double>& pilot_variances,
+                                   double epsilon_prime, double delta_budget,
+                                   uint64_t n0, uint64_t n_max);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_STATS_DELTA_ALLOCATION_H_

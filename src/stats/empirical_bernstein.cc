@@ -1,0 +1,58 @@
+#include "stats/empirical_bernstein.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+double EmpiricalBernsteinEpsilon(uint64_t n, double delta0,
+                                 double sample_variance) {
+  SAPHYRA_CHECK(n >= 2);
+  SAPHYRA_CHECK(delta0 > 0.0 && delta0 < 1.0);
+  SAPHYRA_CHECK(sample_variance >= 0.0);
+  const double log_term = std::log(2.0 / delta0);
+  const double nn = static_cast<double>(n);
+  return std::sqrt(2.0 * sample_variance * log_term / nn) +
+         7.0 * log_term / (3.0 * (nn - 1.0));
+}
+
+double BernoulliSampleVariance(uint64_t ones, uint64_t n) {
+  SAPHYRA_CHECK(n >= 2);
+  SAPHYRA_CHECK(ones <= n);
+  const double nn = static_cast<double>(n);
+  return static_cast<double>(ones) * static_cast<double>(n - ones) /
+         (nn * (nn - 1.0));
+}
+
+double SolveDeltaForEpsilon(uint64_t n, double sample_variance,
+                            double target_epsilon) {
+  SAPHYRA_CHECK(n >= 2);
+  SAPHYRA_CHECK(target_epsilon > 0.0);
+  // The bound is monotone *decreasing* in δ0 (ln(2/δ0) shrinks), so the
+  // easiest point is the cap δ0 = 0.5. Below the threshold δ* the bound
+  // exceeds the target; we return δ* — the minimal failure probability the
+  // hypothesis needs to meet target_epsilon at this sample size.
+  constexpr double kCap = 0.5;
+  if (EmpiricalBernsteinEpsilon(n, kCap, sample_variance) > target_epsilon) {
+    return 0.0;  // infeasible at any allowed δ0
+  }
+  double lo = 1e-300;
+  if (EmpiricalBernsteinEpsilon(n, lo, sample_variance) <= target_epsilon) {
+    return lo;  // feasible even with a vanishing failure probability
+  }
+  // Invariant: lo infeasible, hi feasible. Bisect on log δ0.
+  double log_lo = std::log(lo), log_hi = std::log(kCap);
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (log_lo + log_hi);
+    double eps = EmpiricalBernsteinEpsilon(n, std::exp(mid), sample_variance);
+    if (eps <= target_epsilon) {
+      log_hi = mid;
+    } else {
+      log_lo = mid;
+    }
+  }
+  return std::exp(log_hi);
+}
+
+}  // namespace saphyra

@@ -1,0 +1,41 @@
+#ifndef SAPHYRA_STATS_EMPIRICAL_BERNSTEIN_H_
+#define SAPHYRA_STATS_EMPIRICAL_BERNSTEIN_H_
+
+#include <cstdint>
+
+namespace saphyra {
+
+/// \brief Empirical Bernstein deviation bound (Lemma 3 of the paper,
+/// Maurer & Pontil Theorem 4).
+///
+/// For N i.i.d. samples in [0,1] with sample variance `sample_variance`
+/// (the unbiased U-statistic), with probability at least 1 − δ0:
+///   μ − mean ≤ sqrt(2·Var·ln(2/δ0)/N) + 7·ln(2/δ0)/(3(N−1)).
+/// Two-sided use costs a factor 2 in δ0 (union bound over ±z).
+///
+/// Requires N ≥ 2 and 0 < δ0 < 1.
+double EmpiricalBernsteinEpsilon(uint64_t n, double delta0,
+                                 double sample_variance);
+
+/// \brief Unbiased sample variance of a Bernoulli 0/1 sample with
+/// `ones` successes among `n` draws:  ones·(n−ones) / (n(n−1)).
+///
+/// This is exactly the U-statistic Var(z) of Lemma 3 specialized to 0/1
+/// losses, which is all SaPHyRa_bc ever needs (0-1 loss, Eq. 27).
+double BernoulliSampleVariance(uint64_t ones, uint64_t n);
+
+/// \brief Invert EmpiricalBernsteinEpsilon in δ0: the bound decreases as δ0
+/// grows, so there is a minimal δ* ∈ (0, 0.5] at which the bound first
+/// reaches target_epsilon. Returns that δ* (the failure probability the
+/// hypothesis *needs*), or 0 if even δ0 = 0.5 misses the target.
+///
+/// Used by the δ-allocation step of Algorithm 1 (Eq. 13): given a pilot
+/// variance estimate, each hypothesis is assigned the failure probability
+/// it needs to reach ε′ at the projected sample size, so high-variance
+/// hypotheses receive the larger shares of the δ budget.
+double SolveDeltaForEpsilon(uint64_t n, double sample_variance,
+                            double target_epsilon);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_STATS_EMPIRICAL_BERNSTEIN_H_

@@ -1,0 +1,25 @@
+#ifndef SAPHYRA_STATS_VC_H_
+#define SAPHYRA_STATS_VC_H_
+
+#include <cstdint>
+
+namespace saphyra {
+
+/// Constant c of Lemma 4 ("approximately 0.5" per the paper).
+constexpr double kVcSampleConstant = 0.5;
+
+/// \brief Sample-complexity bound from VC dimension (Lemma 4 /
+/// Shalev-Shwartz & Ben-David Thm 6.8): N = c/ε² (VC + ln 1/δ) samples give
+/// an (ε, δ)-estimation of all expected risks simultaneously.
+uint64_t VcSampleBound(double epsilon, double delta, double vc_dimension,
+                       double c = kVcSampleConstant);
+
+/// \brief πmax-based VC bound (Lemma 5): if no sample is hit by more than
+/// `pi_max` hypotheses, VC(H) ≤ ⌊log₂ πmax⌋ + 1.
+///
+/// Returns 1 for pi_max ≤ 1 (a chain of singletons still shatters a point).
+double PiMaxVcBound(uint64_t pi_max);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_STATS_VC_H_

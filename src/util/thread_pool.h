@@ -1,0 +1,59 @@
+#ifndef SAPHYRA_UTIL_THREAD_POOL_H_
+#define SAPHYRA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace saphyra {
+
+/// \brief Minimal fixed-size thread pool.
+///
+/// Used by the parallel Brandes ground-truth computation and the benchmark
+/// harness. Tasks are plain std::function<void()>; ParallelFor partitions an
+/// index range into contiguous chunks.
+class ThreadPool {
+ public:
+  /// \brief Create a pool with `num_threads` workers (0 = hardware threads).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// \brief Block until all submitted tasks have completed.
+  void Wait();
+
+  /// \brief Run body(i) for every i in [begin, end) across the pool.
+  ///
+  /// Work is split dynamically in chunks of `grain` indices. Blocks until
+  /// the whole range is processed.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body,
+                   size_t grain = 1);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_UTIL_THREAD_POOL_H_

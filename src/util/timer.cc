@@ -1,0 +1,21 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace saphyra {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,35 @@
+#ifndef SAPHYRA_UTIL_TIMER_H_
+#define SAPHYRA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace saphyra {
+
+/// \brief Wall-clock stopwatch used by benchmarks and adaptive algorithms.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// \brief Reset the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Format seconds as a short human-readable string ("1.23s", "45ms").
+std::string FormatDuration(double seconds);
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_UTIL_TIMER_H_

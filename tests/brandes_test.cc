@@ -1,0 +1,112 @@
+#include "bc/brandes.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::BruteForceBetweenness;
+using testing::MakeGraph;
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+TEST(Brandes, PathGraph) {
+  // Path 0-1-2-3-4: bc(v) = 2*k*(n-1-k)/(n(n-1)) for position k.
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto bc = BrandesBetweenness(g);
+  double norm = 5.0 * 4.0;
+  EXPECT_NEAR(bc[0], 0.0, 1e-12);
+  EXPECT_NEAR(bc[1], 2.0 * 3.0 / norm, 1e-12);
+  EXPECT_NEAR(bc[2], 2.0 * 4.0 / norm, 1e-12);
+  EXPECT_NEAR(bc[3], 2.0 * 3.0 / norm, 1e-12);
+  EXPECT_NEAR(bc[4], 0.0, 1e-12);
+}
+
+TEST(Brandes, CompleteGraphAllZero) {
+  Graph g = ErdosRenyi(6, 15, 1);  // K6
+  auto bc = BrandesBetweenness(g);
+  for (double x : bc) EXPECT_NEAR(x, 0.0, 1e-12);
+}
+
+TEST(Brandes, StarCenter) {
+  Graph g = MakeGraph(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  auto bc = BrandesBetweenness(g);
+  EXPECT_NEAR(bc[0], 5.0 * 4.0 / (6.0 * 5.0), 1e-12);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_NEAR(bc[v], 0.0, 1e-12);
+}
+
+TEST(Brandes, CycleGraph) {
+  // C5: each pair at distance 2 has a unique middle; bc(v) identical.
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  auto bc = BrandesBetweenness(g);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_NEAR(bc[v], bc[0], 1e-12);
+  EXPECT_GT(bc[0], 0.0);
+}
+
+TEST(Brandes, DisconnectedGraph) {
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  auto bc = BrandesBetweenness(g);
+  auto brute = BruteForceBetweenness(g);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_NEAR(bc[v], brute[v], 1e-12);
+  EXPECT_GT(bc[1], 0.0);
+  EXPECT_GT(bc[4], 0.0);
+}
+
+TEST(Brandes, PaperFig2MatchesBruteForce) {
+  Graph g = PaperFig2Graph();
+  auto bc = BrandesBetweenness(g);
+  auto brute = BruteForceBetweenness(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(bc[v], brute[v], 1e-12) << "node " << v;
+  }
+}
+
+class BrandesRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BrandesRandomized, MatchesPathEnumerationOracle) {
+  Rng rng(GetParam());
+  NodeId n = 5 + static_cast<NodeId>(rng.UniformInt(20));
+  Graph g = RandomConnectedGraph(n, rng.UniformDouble() * 0.25,
+                                 GetParam() * 7 + 11);
+  auto bc = BrandesBetweenness(g);
+  auto brute = BruteForceBetweenness(g);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(bc[v], brute[v], 1e-10) << "node " << v;
+  }
+}
+
+TEST_P(BrandesRandomized, ParallelMatchesSerial) {
+  Graph g = RandomConnectedGraph(60, 0.05, GetParam() + 31);
+  auto serial = BrandesBetweenness(g);
+  auto parallel = ParallelBrandesBetweenness(g, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(serial[v], parallel[v], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrandesRandomized,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(Brandes, ValuesAreProbabilities) {
+  Graph g = BarabasiAlbert(200, 3, 17);
+  auto bc = BrandesBetweenness(g);
+  for (double x : bc) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(ParallelBrandes, SingleThreadDegenerate) {
+  Graph g = RandomConnectedGraph(30, 0.1, 5);
+  auto one = ParallelBrandesBetweenness(g, 1);
+  auto serial = BrandesBetweenness(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(one[v], serial[v], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace saphyra

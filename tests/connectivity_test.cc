@@ -1,0 +1,88 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(ConnectedComponents, SingleComponent) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components(), 1u);
+  EXPECT_EQ(labels.size[0], 4u);
+}
+
+TEST(ConnectedComponents, MultipleComponentsAndIsolates) {
+  Graph g = MakeGraph(7, {{0, 1}, {2, 3}, {3, 4}});
+  ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components(), 4u);  // {0,1}, {2,3,4}, {5}, {6}
+  EXPECT_EQ(labels.component[0], labels.component[1]);
+  EXPECT_EQ(labels.component[2], labels.component[4]);
+  EXPECT_NE(labels.component[0], labels.component[2]);
+  EXPECT_NE(labels.component[5], labels.component[6]);
+}
+
+TEST(ConnectedComponents, SizesSumToN) {
+  Graph g = MakeGraph(10, {{0, 1}, {2, 3}, {4, 5}, {5, 6}});
+  ComponentLabels labels = ConnectedComponents(g);
+  NodeId total = 0;
+  for (NodeId s : labels.size) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(IsConnected, EmptyAndSingleton) {
+  EXPECT_TRUE(IsConnected(Graph()));
+  EXPECT_TRUE(IsConnected(MakeGraph(1, {})));
+}
+
+TEST(IsConnected, DetectsDisconnection) {
+  EXPECT_TRUE(IsConnected(MakeGraph(3, {{0, 1}, {1, 2}})));
+  EXPECT_FALSE(IsConnected(MakeGraph(3, {{0, 1}})));
+}
+
+TEST(LargestComponent, ExtractsAndRenumbers) {
+  // Components: {0,1,2} and {3,4}; LCC has 3 nodes, 3 edges (triangle).
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  std::vector<NodeId> mapping;
+  Graph lcc = LargestComponent(g, &mapping);
+  EXPECT_EQ(lcc.num_nodes(), 3u);
+  EXPECT_EQ(lcc.num_edges(), 3u);
+  EXPECT_TRUE(IsConnected(lcc));
+  EXPECT_NE(mapping[0], kInvalidNode);
+  EXPECT_EQ(mapping[3], kInvalidNode);
+  EXPECT_EQ(mapping[4], kInvalidNode);
+}
+
+TEST(LargestComponent, PreservesRelativeOrder) {
+  Graph g = MakeGraph(6, {{1, 3}, {3, 5}, {0, 2}});
+  std::vector<NodeId> mapping;
+  Graph lcc = LargestComponent(g, &mapping);
+  EXPECT_EQ(lcc.num_nodes(), 3u);
+  EXPECT_EQ(mapping[1], 0u);
+  EXPECT_EQ(mapping[3], 1u);
+  EXPECT_EQ(mapping[5], 2u);
+}
+
+TEST(LargestComponent, ConnectedGraphIsIdentity) {
+  Graph g = BarabasiAlbert(100, 2, 5);
+  std::vector<NodeId> mapping;
+  Graph lcc = LargestComponent(g, &mapping);
+  EXPECT_EQ(lcc.num_nodes(), g.num_nodes());
+  EXPECT_EQ(lcc.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(mapping[v], v);
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  std::vector<NodeId> mapping;
+  Graph lcc = LargestComponent(Graph(), &mapping);
+  EXPECT_EQ(lcc.num_nodes(), 0u);
+  EXPECT_TRUE(mapping.empty());
+}
+
+}  // namespace
+}  // namespace saphyra

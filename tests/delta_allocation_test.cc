@@ -1,0 +1,74 @@
+#include "stats/delta_allocation.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "stats/empirical_bernstein.h"
+
+namespace saphyra {
+namespace {
+
+TEST(DeltaAllocation, SumsToBudget) {
+  std::vector<double> vars = {0.0, 0.01, 0.1, 0.25};
+  double budget = 0.01;
+  auto deltas = AllocateDeltas(vars, 0.05, budget, 64, 100000);
+  ASSERT_EQ(deltas.size(), vars.size());
+  double total = 0.0;
+  for (double d : deltas) total += 2.0 * d;
+  EXPECT_NEAR(total, budget, 1e-12);
+}
+
+TEST(DeltaAllocation, AllPositive) {
+  std::vector<double> vars = {0.25, 0.25, 0.0};
+  auto deltas = AllocateDeltas(vars, 0.01, 0.005, 64, 1 << 20);
+  for (double d : deltas) EXPECT_GT(d, 0.0);
+}
+
+TEST(DeltaAllocation, HighVarianceGetsLargerShare) {
+  // A low-variance hypothesis meets eps' even with a tiny delta, so the
+  // budget concentrates on the hard, high-variance hypothesis.
+  std::vector<double> vars = {0.001, 0.25};
+  auto deltas = AllocateDeltas(vars, 0.05, 0.01, 128, 1 << 22);
+  EXPECT_GT(deltas[1], deltas[0]);
+}
+
+TEST(DeltaAllocation, EqualVariancesEqualShares) {
+  std::vector<double> vars(5, 0.04);
+  auto deltas = AllocateDeltas(vars, 0.05, 0.02, 64, 1 << 20);
+  for (size_t i = 1; i < deltas.size(); ++i) {
+    EXPECT_NEAR(deltas[i], deltas[0], 1e-12);
+  }
+}
+
+TEST(DeltaAllocation, EmptyInput) {
+  auto deltas = AllocateDeltas({}, 0.05, 0.01, 64, 1024);
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(DeltaAllocation, SingleHypothesisGetsHalfBudget) {
+  auto deltas = AllocateDeltas({0.1}, 0.05, 0.01, 64, 1 << 20);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_NEAR(deltas[0], 0.005, 1e-12);
+}
+
+TEST(DeltaAllocation, InfeasibleVarianceStillCovered) {
+  // eps' so small nothing is feasible even at n_max: fall back to positive
+  // allocations that still sum to the budget.
+  std::vector<double> vars = {0.25, 0.25};
+  auto deltas = AllocateDeltas(vars, 1e-8, 0.01, 64, 128);
+  double total = 0.0;
+  for (double d : deltas) {
+    EXPECT_GT(d, 0.0);
+    total += 2.0 * d;
+  }
+  EXPECT_NEAR(total, 0.01, 1e-12);
+}
+
+TEST(DeltaAllocation, DeltasNeverExceedHalf) {
+  auto deltas = AllocateDeltas({0.0, 0.0, 0.0}, 0.5, 0.9, 64, 1024);
+  for (double d : deltas) EXPECT_LE(d, 0.5);
+}
+
+}  // namespace
+}  // namespace saphyra

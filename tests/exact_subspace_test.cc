@@ -1,0 +1,185 @@
+#include "bc/exact_subspace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bc/brandes.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::AllShortestPaths;
+using testing::MakeGraph;
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+// Oracle: enumerate the personalized ISP space explicitly and compute the
+// exact-subspace weight and risks by definition (Eq. 29).
+struct ExactOracle {
+  std::vector<double> exact_risks;
+  double lambda_hat = 0.0;
+};
+
+ExactOracle EnumerateExactSubspace(const PersonalizedSpace& space) {
+  const IspIndex& isp = space.isp();
+  const Graph& g = isp.graph();
+  ExactOracle out;
+  out.exact_risks.assign(space.targets().size(), 0.0);
+  double ge = isp.gamma() * space.eta();
+  if (ge <= 0.0) return out;
+  for (uint32_t c : space.component_ids()) {
+    const auto& nodes = isp.bcc().component_nodes[c];
+    std::function<bool(EdgeIndex)> arc_ok = [&](EdgeIndex e) {
+      return isp.bcc().arc_component[e] == c;
+    };
+    for (NodeId s : nodes) {
+      for (NodeId t : nodes) {
+        if (s == t) continue;
+        auto paths = AllShortestPaths(g, s, t, &arc_ok);
+        double p_path = isp.PairMass(c, s, t) / ge / paths.size();
+        for (const auto& path : paths) {
+          if (path.size() != 3) continue;  // only length-2 paths
+          int32_t h = space.HypothesisIndex(path[1]);
+          if (h < 0) continue;
+          out.lambda_hat += p_path;
+          out.exact_risks[h] += p_path;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ExactSubspace, EmptyTargets) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  PersonalizedSpace space(isp, {});
+  ExactSubspaceResult res = ComputeExactSubspace(space);
+  EXPECT_TRUE(res.exact_risks.empty());
+  EXPECT_DOUBLE_EQ(res.lambda_hat, 0.0);
+}
+
+TEST(ExactSubspace, PaperFig2MatchesOracle) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  // Mixed targets: pentagon inner node, cutpoint, triangle node.
+  PersonalizedSpace space(isp, {1, 3, 9});
+  ExactSubspaceResult res = ComputeExactSubspace(space);
+  ExactOracle oracle = EnumerateExactSubspace(space);
+  EXPECT_NEAR(res.lambda_hat, oracle.lambda_hat, 1e-12);
+  for (size_t h = 0; h < res.exact_risks.size(); ++h) {
+    EXPECT_NEAR(res.exact_risks[h], oracle.exact_risks[h], 1e-12)
+        << "hypothesis " << h;
+  }
+}
+
+class ExactSubspaceRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactSubspaceRandomized, MatchesEnumerationOracle) {
+  Rng rng(GetParam());
+  NodeId n = 8 + static_cast<NodeId>(rng.UniformInt(16));
+  Graph g = RandomConnectedGraph(n, rng.UniformDouble() * 0.2,
+                                 GetParam() * 131 + 17);
+  IspIndex isp(g);
+  // Random subset of ~1/3 of nodes.
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng.Bernoulli(0.33)) targets.push_back(v);
+  }
+  if (targets.empty()) targets.push_back(0);
+  PersonalizedSpace space(isp, targets);
+  ExactSubspaceResult res = ComputeExactSubspace(space);
+  ExactOracle oracle = EnumerateExactSubspace(space);
+  EXPECT_NEAR(res.lambda_hat, oracle.lambda_hat, 1e-10) << "seed "
+                                                        << GetParam();
+  for (size_t h = 0; h < res.exact_risks.size(); ++h) {
+    EXPECT_NEAR(res.exact_risks[h], oracle.exact_risks[h], 1e-10)
+        << "hypothesis " << h << " seed " << GetParam();
+  }
+}
+
+TEST_P(ExactSubspaceRandomized, WholeNetworkAsTargets) {
+  Graph g = RandomConnectedGraph(14, 0.15, GetParam() + 71);
+  IspIndex isp(g);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  PersonalizedSpace space(isp, all);
+  ExactSubspaceResult res = ComputeExactSubspace(space);
+  ExactOracle oracle = EnumerateExactSubspace(space);
+  EXPECT_NEAR(res.lambda_hat, oracle.lambda_hat, 1e-10);
+  for (size_t h = 0; h < res.exact_risks.size(); ++h) {
+    EXPECT_NEAR(res.exact_risks[h], oracle.exact_risks[h], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSubspaceRandomized,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(ExactSubspace, LambdaHatIsAProbability) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomConnectedGraph(30, 0.1, seed);
+    IspIndex isp(g);
+    std::vector<NodeId> targets;
+    Rng rng(seed);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.Bernoulli(0.2)) targets.push_back(v);
+    }
+    if (targets.empty()) targets.push_back(1);
+    PersonalizedSpace space(isp, targets);
+    ExactSubspaceResult res = ComputeExactSubspace(space);
+    EXPECT_GE(res.lambda_hat, 0.0);
+    EXPECT_LT(res.lambda_hat, 1.0);  // d=1 paths always remain outside X̂
+    for (double r : res.exact_risks) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, res.lambda_hat + 1e-12);
+    }
+  }
+}
+
+// Lemma 19: any target with positive sampling-space risk (i.e. positive
+// bc beyond its break-point mass) has a strictly positive exact risk.
+TEST(ExactSubspace, Lemma19NoFalseZeros) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomConnectedGraph(20, 0.12, seed * 3 + 1);
+    IspIndex isp(g);
+    std::vector<double> bc = BrandesBetweenness(g);
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    PersonalizedSpace space(isp, all);
+    ExactSubspaceResult res = ComputeExactSubspace(space);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      double sampling_mass = bc[v] - isp.bca(v);
+      if (sampling_mass > 1e-12) {
+        EXPECT_GT(res.exact_risks[v], 0.0) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(ExactSubspace, TreeHasEmptyExactSubspace) {
+  // Trees have only bridge components: no intra-component 2-hop paths.
+  Graph g = RandomTree(30, 9);
+  IspIndex isp(g);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  PersonalizedSpace space(isp, all);
+  ExactSubspaceResult res = ComputeExactSubspace(space);
+  EXPECT_DOUBLE_EQ(res.lambda_hat, 0.0);
+  for (double r : res.exact_risks) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(InExactSubspace, ChecksLengthAndMiddle) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  PersonalizedSpace space(isp, {1});
+  EXPECT_TRUE(InExactSubspace(space, {0, 1, 2}));
+  EXPECT_FALSE(InExactSubspace(space, {0, 4, 3}));   // middle not in A
+  EXPECT_FALSE(InExactSubspace(space, {0, 1}));      // length 1
+  EXPECT_FALSE(InExactSubspace(space, {4, 0, 1, 2}));  // length 3
+}
+
+}  // namespace
+}  // namespace saphyra

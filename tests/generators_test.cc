@@ -1,0 +1,252 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/connectivity.h"
+
+namespace saphyra {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Graph g = ErdosRenyi(100, 300, 7);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+  Graph a = ErdosRenyi(50, 100, 42);
+  Graph b = ErdosRenyi(50, 100, 42);
+  EXPECT_EQ(a.UndirectedEdges(), b.UndirectedEdges());
+}
+
+TEST(ErdosRenyi, DifferentSeedsDiffer) {
+  Graph a = ErdosRenyi(50, 100, 1);
+  Graph b = ErdosRenyi(50, 100, 2);
+  EXPECT_NE(a.UndirectedEdges(), b.UndirectedEdges());
+}
+
+TEST(ErdosRenyi, CompleteGraphPossible) {
+  Graph g = ErdosRenyi(6, 15, 3);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(BarabasiAlbert, ConnectedByConstruction) {
+  Graph g = BarabasiAlbert(500, 3, 11);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(BarabasiAlbert, EdgeCountApproximatelyNM) {
+  const NodeId n = 1000, m = 4;
+  Graph g = BarabasiAlbert(n, m, 13);
+  // Seed clique + m per added node, minus rare dedups.
+  EXPECT_GE(g.num_edges(), static_cast<EdgeIndex>((n - m - 1) * m));
+  EXPECT_LE(g.num_edges(), static_cast<EdgeIndex>(n) * m + m * (m + 1) / 2);
+}
+
+TEST(BarabasiAlbert, HeavyTailHubExists) {
+  Graph g = BarabasiAlbert(2000, 2, 17);
+  // Preferential attachment should produce a hub far above the mean degree.
+  EXPECT_GT(g.max_degree(), 8 * 2u);
+}
+
+TEST(WattsStrogatz, RegularRingWithoutRewiring) {
+  Graph g = WattsStrogatz(20, 4, 0.0, 19);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(WattsStrogatz, RewiringKeepsConnectivity) {
+  Graph g = WattsStrogatz(300, 6, 0.1, 23);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_nodes(), 300u);
+}
+
+TEST(Rmat, NodeCountIsPowerOfTwo) {
+  Graph g = Rmat(8, 4, 29);
+  EXPECT_EQ(g.num_nodes(), 256u);
+  EXPECT_GT(g.num_edges(), 0u);
+  EXPECT_LE(g.num_edges(), 256u * 4);
+}
+
+TEST(Rmat, SkewProducesHub) {
+  Graph g = Rmat(10, 8, 31);
+  EXPECT_GT(g.max_degree(), 40u);
+}
+
+TEST(RandomTree, HasExactlyNMinus1Edges) {
+  Graph g = RandomTree(200, 37);
+  EXPECT_EQ(g.num_edges(), 199u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(RandomTree, SingleNode) {
+  Graph g = RandomTree(1, 39);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(RoadGrid, FullGridIsConnectedLattice) {
+  RoadNetwork road = RoadGrid(10, 8, 1.0, 41);
+  EXPECT_EQ(road.graph.num_nodes(), 80u);
+  // Full lattice: (w-1)*h + w*(h-1) edges.
+  EXPECT_EQ(road.graph.num_edges(), 9u * 8 + 10 * 7);
+  EXPECT_TRUE(IsConnected(road.graph));
+}
+
+TEST(RoadGrid, SparseGridIsConnectedLcc) {
+  RoadNetwork road = RoadGrid(40, 40, 0.75, 43);
+  EXPECT_TRUE(IsConnected(road.graph));
+  EXPECT_GT(road.graph.num_nodes(), 800u);  // LCC keeps most of the grid
+  EXPECT_EQ(road.x.size(), road.graph.num_nodes());
+  EXPECT_EQ(road.y.size(), road.graph.num_nodes());
+}
+
+TEST(RoadGrid, HasLongDiameter) {
+  RoadNetwork road = RoadGrid(60, 4, 0.95, 47);
+  EXPECT_GE(TwoSweepDiameterLowerBound(road.graph), 50u);
+}
+
+TEST(RoadGrid, CoordinatesMatchLattice) {
+  RoadNetwork road = RoadGrid(5, 5, 1.0, 53);
+  // Every edge of a full lattice joins nodes at L1 distance 1.
+  for (auto [u, v] : road.graph.UndirectedEdges()) {
+    float d = std::abs(road.x[u] - road.x[v]) + std::abs(road.y[u] - road.y[v]);
+    EXPECT_FLOAT_EQ(d, 1.0f);
+  }
+}
+
+TEST(NodesInRectangle, SelectsWindow) {
+  RoadNetwork road = RoadGrid(10, 10, 1.0, 59);
+  auto nodes = NodesInRectangle(road, 2.0f, 3.0f, 4.0f, 5.0f);
+  EXPECT_EQ(nodes.size(), 9u);  // 3 x 3 window
+  for (NodeId v : nodes) {
+    EXPECT_GE(road.x[v], 2.0f);
+    EXPECT_LE(road.x[v], 4.0f);
+    EXPECT_GE(road.y[v], 3.0f);
+    EXPECT_LE(road.y[v], 5.0f);
+  }
+}
+
+TEST(PatchConnect, ConnectsDisconnectedGraph) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.AddEdge(4, 5);
+  Graph g;
+  ASSERT_TRUE(b.Build(6, &g).ok());
+  EXPECT_FALSE(IsConnected(g));
+  Graph patched = PatchConnect(g, 61);
+  EXPECT_TRUE(IsConnected(patched));
+  EXPECT_EQ(patched.num_edges(), 5u);
+}
+
+TEST(PatchConnect, NoOpOnConnectedGraph) {
+  Graph g = BarabasiAlbert(50, 2, 67);
+  Graph patched = PatchConnect(g, 67);
+  EXPECT_EQ(patched.num_edges(), g.num_edges());
+}
+
+
+TEST(StochasticBlockModel, DenseWithinSparseAcross) {
+  const NodeId n = 400;
+  Graph g = StochasticBlockModel(n, 4, 0.2, 0.005, 71);
+  // Count within- vs cross-block edges.
+  auto block_of = [&](NodeId v) { return std::min<NodeId>(v / 100, 3); };
+  uint64_t within = 0, across = 0;
+  for (auto [u, v] : g.UndirectedEdges()) {
+    (block_of(u) == block_of(v) ? within : across) += 1;
+  }
+  // Expected: within ~ 4 * C(100,2) * 0.2 = 3960; across ~ 60000*0.005=300.
+  EXPECT_NEAR(static_cast<double>(within), 3960.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(across), 300.0, 120.0);
+}
+
+TEST(StochasticBlockModel, SingleBlockMatchesErdosRenyiDensity) {
+  Graph g = StochasticBlockModel(300, 1, 0.05, 0.0, 73);
+  double expected = 300.0 * 299.0 / 2.0 * 0.05;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 150.0);
+}
+
+TEST(StochasticBlockModel, ZeroProbabilitiesGiveEmptyGraph) {
+  Graph g = StochasticBlockModel(100, 4, 0.0, 0.0, 75);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(StochasticBlockModel, DeterministicForSeed) {
+  EXPECT_EQ(StochasticBlockModel(200, 2, 0.1, 0.01, 5).UndirectedEdges(),
+            StochasticBlockModel(200, 2, 0.1, 0.01, 5).UndirectedEdges());
+}
+
+TEST(PowerLawDegreeSequence, RespectsBoundsAndParity) {
+  auto degrees = PowerLawDegreeSequence(1000, 2.5, 2, 100, 77);
+  uint64_t sum = 0;
+  for (NodeId d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 101u);  // +1 possible from the parity patch
+    sum += d;
+  }
+  EXPECT_EQ(sum % 2, 0u);
+}
+
+TEST(PowerLawDegreeSequence, HeavyTail) {
+  auto degrees = PowerLawDegreeSequence(5000, 2.1, 1, 500, 79);
+  uint64_t ones = 0;
+  NodeId max_d = 0;
+  for (NodeId d : degrees) {
+    ones += (d <= 2);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_GT(ones, 2500u);  // most nodes have tiny degree
+  EXPECT_GT(max_d, 50u);   // but hubs exist
+}
+
+TEST(ConfigurationModel, DegreesApproximatelyRealized) {
+  std::vector<NodeId> degrees = {3, 3, 2, 2, 2, 2, 1, 1};
+  Graph g = ConfigurationModel(degrees, 81);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  // Dedup/self-loop removal can only lower degrees.
+  uint64_t realized = 0;
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_LE(g.degree(v), degrees[v]);
+    realized += g.degree(v);
+  }
+  EXPECT_GE(realized, 8u);  // most stubs survive
+}
+
+TEST(ConfigurationModel, PowerLawSequenceProducesHub) {
+  auto degrees = PowerLawDegreeSequence(2000, 2.2, 1, 200, 83);
+  Graph g = ConfigurationModel(degrees, 85);
+  EXPECT_GT(g.max_degree(), 30u);
+  EXPECT_GT(g.num_edges(), 1000u);
+}
+
+TEST(ConfigurationModel, RegularGraph) {
+  std::vector<NodeId> degrees(100, 4);
+  Graph g = ConfigurationModel(degrees, 87);
+  for (NodeId v = 0; v < 100; ++v) EXPECT_LE(g.degree(v), 4u);
+  EXPECT_GT(g.num_edges(), 150u);  // most of the 200 stub pairs survive
+}
+
+// All generators must be deterministic in their seed.
+class GeneratorDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameGraph) {
+  uint64_t seed = GetParam();
+  EXPECT_EQ(BarabasiAlbert(200, 2, seed).UndirectedEdges(),
+            BarabasiAlbert(200, 2, seed).UndirectedEdges());
+  EXPECT_EQ(Rmat(7, 3, seed).UndirectedEdges(),
+            Rmat(7, 3, seed).UndirectedEdges());
+  EXPECT_EQ(RoadGrid(12, 12, 0.8, seed).graph.UndirectedEdges(),
+            RoadGrid(12, 12, 0.8, seed).graph.UndirectedEdges());
+  EXPECT_EQ(WattsStrogatz(60, 4, 0.2, seed).UndirectedEdges(),
+            WattsStrogatz(60, 4, 0.2, seed).UndirectedEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminism,
+                         ::testing::Values(1, 2, 3, 99, 12345));
+
+}  // namespace
+}  // namespace saphyra

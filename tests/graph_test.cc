@@ -1,0 +1,159 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphBuilder, BasicTriangle) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b;
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 1);
+  Graph g;
+  ASSERT_TRUE(b.Build(2, &g).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  Graph g;
+  ASSERT_TRUE(b.Build(2, &g).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b;
+  b.AddEdge(0, 5);
+  Graph g;
+  Status st = b.Build(3, &g);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilder, AutoSizesToMaxIdPlusOne) {
+  GraphBuilder b;
+  b.AddEdge(2, 7);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  EXPECT_EQ(g.num_nodes(), 8u);
+}
+
+TEST(GraphBuilder, IsolatedNodesAllowed) {
+  Graph g = MakeGraph(5, {{0, 1}});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Graph, AdjacencyIsSorted) {
+  Graph g = MakeGraph(6, {{3, 1}, {3, 5}, {3, 0}, {3, 4}, {3, 2}});
+  auto nbr = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbr.begin(), nbr.end()));
+  EXPECT_EQ(nbr.size(), 5u);
+}
+
+TEST(Graph, HasEdge) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g = MakeGraph(5, {{0, 1}, {0, 2}, {0, 3}, {3, 4}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, UndirectedEdgesRoundTrip) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}, {0, 3}};
+  Graph g = MakeGraph(4, edges);
+  auto got = g.UndirectedEdges();
+  std::sort(got.begin(), got.end());
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(got, edges);
+}
+
+TEST(Graph, OffsetConsistentWithDegrees) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.offset(0), 0u);
+  EdgeIndex sum = 0;
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.offset(v), sum);
+    sum += g.degree(v);
+  }
+  EXPECT_EQ(sum, g.num_arcs());
+}
+
+TEST(Graph, DebugStringMentionsCounts) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+}
+
+// Property sweep: the CSR graph must agree with a simple adjacency-set
+// oracle on random inputs with duplicates and self loops.
+class GraphRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphRandomizedTest, MatchesAdjacencySetOracle) {
+  Rng rng(GetParam());
+  const NodeId n = 2 + static_cast<NodeId>(rng.UniformInt(40));
+  const int raw_edges = static_cast<int>(rng.UniformInt(200));
+  GraphBuilder b;
+  std::set<std::pair<NodeId, NodeId>> oracle;
+  for (int i = 0; i < raw_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    b.AddEdge(u, v);
+    if (u != v) {
+      oracle.insert(std::minmax(u, v));
+    }
+  }
+  Graph g;
+  ASSERT_TRUE(b.Build(n, &g).ok());
+  EXPECT_EQ(g.num_edges(), oracle.size());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      bool expected = u != v && oracle.count(std::minmax(u, v)) > 0;
+      EXPECT_EQ(g.HasEdge(u, v), expected) << u << "-" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRandomizedTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace saphyra

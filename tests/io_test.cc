@@ -1,0 +1,138 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/saphyra_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, SnapRoundTrip) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveSnapEdgeList(g, path).ok());
+  Graph back;
+  // Saved ids are already compact; compact_ids=true would renumber them by
+  // first appearance in the (sorted) file and permute the labels.
+  ASSERT_TRUE(LoadSnapEdgeList(path, &back, /*compact_ids=*/false).ok());
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.UndirectedEdges(), g.UndirectedEdges());
+}
+
+TEST_F(IoTest, SnapSkipsCommentsAndBlanks) {
+  std::string path = TempPath("comments.txt");
+  WriteFile(path, "# header\n\n0 1\n% other comment style\n1 2\n");
+  Graph g;
+  ASSERT_TRUE(LoadSnapEdgeList(path, &g).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, SnapCompactsSparseIds) {
+  std::string path = TempPath("sparse.txt");
+  WriteFile(path, "1000000 2000000\n2000000 3000000\n");
+  Graph g;
+  ASSERT_TRUE(LoadSnapEdgeList(path, &g, /*compact_ids=*/true).ok());
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, SnapRawIdsPreserved) {
+  std::string path = TempPath("raw.txt");
+  WriteFile(path, "0 5\n5 9\n");
+  Graph g;
+  ASSERT_TRUE(LoadSnapEdgeList(path, &g, /*compact_ids=*/false).ok());
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_TRUE(g.HasEdge(0, 5));
+  EXPECT_TRUE(g.HasEdge(5, 9));
+}
+
+TEST_F(IoTest, SnapMissingFileFails) {
+  Graph g;
+  Status st = LoadSnapEdgeList(TempPath("does_not_exist.txt"), &g);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, SnapMalformedLineFails) {
+  std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  Graph g;
+  Status st = LoadSnapEdgeList(path, &g);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(IoTest, DimacsGraphParses) {
+  std::string path = TempPath("g.gr");
+  WriteFile(path,
+            "c USA-road style file\n"
+            "p sp 4 5\n"
+            "a 1 2 10\n"
+            "a 2 1 10\n"
+            "a 2 3 7\n"
+            "a 3 4 1\n"
+            "a 4 1 2\n");
+  Graph g;
+  ASSERT_TRUE(LoadDimacsGraph(path, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 4u);
+  // a 1 2 and a 2 1 collapse into one undirected edge.
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST_F(IoTest, DimacsMissingHeaderFails) {
+  std::string path = TempPath("nohdr.gr");
+  WriteFile(path, "a 1 2 3\n");
+  Graph g;
+  EXPECT_FALSE(LoadDimacsGraph(path, &g).ok());
+}
+
+TEST_F(IoTest, DimacsZeroIndexedIdFails) {
+  std::string path = TempPath("zero.gr");
+  WriteFile(path, "p sp 2 1\na 0 1 5\n");
+  Graph g;
+  EXPECT_FALSE(LoadDimacsGraph(path, &g).ok());
+}
+
+TEST_F(IoTest, DimacsCoordinatesParse) {
+  std::string path = TempPath("c.co");
+  WriteFile(path,
+            "c comment\n"
+            "p aux sp co 3\n"
+            "v 1 -73992852 40752124\n"
+            "v 2 -73984999 40754379\n"
+            "v 3 -73963870 40771477\n");
+  std::vector<float> coords;
+  ASSERT_TRUE(LoadDimacsCoordinates(path, &coords).ok());
+  ASSERT_EQ(coords.size(), 6u);
+  EXPECT_FLOAT_EQ(coords[0], -73992852.0f);
+  EXPECT_FLOAT_EQ(coords[5], 40771477.0f);
+}
+
+TEST_F(IoTest, SaveToUnwritablePathFails) {
+  Graph g = MakeGraph(2, {{0, 1}});
+  Status st = SaveSnapEdgeList(g, "/nonexistent_dir_xyz/out.txt");
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace saphyra

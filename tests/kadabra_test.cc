@@ -1,0 +1,111 @@
+#include "baselines/kadabra.h"
+
+#include <gtest/gtest.h>
+
+#include "bc/brandes.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+TEST(Kadabra, EstimatesWithinEpsilonOnFig2) {
+  Graph g = PaperFig2Graph();
+  std::vector<double> truth = BrandesBetweenness(g);
+  KadabraOptions opts;
+  opts.epsilon = 0.05;
+  opts.delta = 0.05;
+  opts.seed = 1;
+  KadabraResult res = RunKadabra(g, opts);
+  ASSERT_EQ(res.bc.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.bc[v], truth[v], opts.epsilon) << "node " << v;
+  }
+}
+
+class KadabraRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KadabraRandomized, WithinEpsilonOnRandomGraphs) {
+  Graph g = RandomConnectedGraph(30, 0.1, GetParam());
+  std::vector<double> truth = BrandesBetweenness(g);
+  KadabraOptions opts;
+  opts.epsilon = 0.05;
+  opts.delta = 0.05;
+  opts.seed = GetParam() + 20;
+  KadabraResult res = RunKadabra(g, opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.bc[v], truth[v], opts.epsilon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KadabraRandomized,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(Kadabra, DeterministicForSeed) {
+  Graph g = BarabasiAlbert(60, 2, 7);
+  KadabraOptions opts;
+  opts.epsilon = 0.1;
+  opts.seed = 8;
+  KadabraResult a = RunKadabra(g, opts);
+  KadabraResult b = RunKadabra(g, opts);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  EXPECT_EQ(a.bc, b.bc);
+}
+
+TEST(Kadabra, ProducesFalseZerosOnLowCentralityNodes) {
+  // The pathology the paper highlights: at loose epsilon, nodes with tiny
+  // bc are estimated as zero by path sampling.
+  Graph g = RoadGrid(14, 14, 0.8, 9).graph;
+  std::vector<double> truth = BrandesBetweenness(g);
+  KadabraOptions opts;
+  opts.epsilon = 0.2;  // loose: few samples
+  opts.seed = 10;
+  KadabraResult res = RunKadabra(g, opts);
+  uint64_t false_zeros = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (truth[v] > 0.0 && res.bc[v] == 0.0) ++false_zeros;
+  }
+  EXPECT_GT(false_zeros, 0u);
+}
+
+TEST(Kadabra, UnidirectionalStrategyWorks) {
+  Graph g = RandomConnectedGraph(25, 0.12, 11);
+  std::vector<double> truth = BrandesBetweenness(g);
+  KadabraOptions opts;
+  opts.epsilon = 0.06;
+  opts.strategy = SamplingStrategy::kUnidirectional;
+  opts.seed = 12;
+  KadabraResult res = RunKadabra(g, opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.bc[v], truth[v], opts.epsilon);
+  }
+}
+
+TEST(Kadabra, DisconnectedGraph) {
+  Graph g = MakeGraph(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}});
+  std::vector<double> truth = BrandesBetweenness(g);
+  KadabraOptions opts;
+  opts.epsilon = 0.06;
+  opts.seed = 13;
+  KadabraResult res = RunKadabra(g, opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.bc[v], truth[v], opts.epsilon);
+  }
+}
+
+TEST(Kadabra, ReportsSampleCounts) {
+  Graph g = BarabasiAlbert(50, 2, 15);
+  KadabraOptions opts;
+  opts.epsilon = 0.1;
+  KadabraResult res = RunKadabra(g, opts);
+  EXPECT_GT(res.samples_used, 0u);
+  EXPECT_GE(res.epochs, 1u);
+  EXPECT_GT(res.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,105 @@
+#include "kpath/kpath.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+using testing::RandomConnectedGraph;
+
+TEST(KPath, ExactRisksMatchClosedFormOnPath) {
+  // Path 0-1-2; k=2. l=1 walks: start anywhere (prob 1/3 each), one step.
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  KPathProblem problem(g, {0, 1, 2}, /*k=*/2);
+  std::vector<double> exact;
+  double lambda_hat = problem.ComputeExactRisks(&exact);
+  EXPECT_NEAR(lambda_hat, 0.5, 1e-12);  // l = 1 with prob 1/k = 1/2
+  // l_hat(v) = (1 + sum_{u in N(v)} 1/deg(u)) / (n k).
+  EXPECT_NEAR(exact[0], (1.0 + 0.5) / 6.0, 1e-12);      // N(0) = {1}, deg 2
+  EXPECT_NEAR(exact[1], (1.0 + 1.0 + 1.0) / 6.0, 1e-12);  // two deg-1 nbrs
+  EXPECT_NEAR(exact[2], (1.0 + 0.5) / 6.0, 1e-12);
+}
+
+TEST(KPath, ExactRisksSumMatchesLambdaTimesExpectedNodes) {
+  // Each 1-hop walk contains exactly 2 nodes, so summing l_hat over all
+  // nodes gives 2/k.
+  Graph g = RandomConnectedGraph(20, 0.1, 3);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  KPathProblem problem(g, all, /*k=*/4);
+  std::vector<double> exact;
+  double lambda_hat = problem.ComputeExactRisks(&exact);
+  EXPECT_NEAR(lambda_hat, 0.25, 1e-12);
+  double sum = 0.0;
+  for (double x : exact) sum += x;
+  EXPECT_NEAR(sum, 2.0 / 4.0, 1e-12);
+}
+
+TEST(KPath, VcBoundFollowsLemma5) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(KPathProblem(g, {0}, 1).VcDimension(), 2.0);   // k+1=2
+  EXPECT_DOUBLE_EQ(KPathProblem(g, {0}, 3).VcDimension(), 3.0);   // k+1=4
+  EXPECT_DOUBLE_EQ(KPathProblem(g, {0}, 7).VcDimension(), 4.0);   // k+1=8
+}
+
+class KPathRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KPathRandomized, EstimatesMatchBruteForceWithinEpsilon) {
+  Rng rng(GetParam());
+  Graph g = RandomConnectedGraph(10, 0.15, GetParam() * 3 + 2);
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (rng.Bernoulli(0.5)) targets.push_back(v);
+  }
+  if (targets.empty()) targets.push_back(0);
+  const uint32_t k = 3;
+  std::vector<double> truth = ExactKPathCentralityBruteForce(g, targets, k);
+  SaphyraOptions opts;
+  opts.epsilon = 0.05;
+  opts.delta = 0.05;
+  opts.seed = GetParam() + 40;
+  std::vector<double> est = EstimateKPathCentrality(g, targets, k, opts);
+  ASSERT_EQ(est.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(est[i], truth[i], opts.epsilon)
+        << "target " << targets[i] << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KPathRandomized,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(KPath, BruteForceProbabilitiesAreSane) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<double> truth = ExactKPathCentralityBruteForce(g, {0, 1, 2, 3}, 2);
+  for (double x : truth) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  // Symmetric graph: symmetric values.
+  EXPECT_NEAR(truth[0], truth[3], 1e-12);
+  EXPECT_NEAR(truth[1], truth[2], 1e-12);
+  // Middle nodes are hit more often than endpoints.
+  EXPECT_GT(truth[1], truth[0]);
+}
+
+TEST(KPath, HigherKVisitsMoreNodes) {
+  Graph g = RandomConnectedGraph(12, 0.1, 5);
+  std::vector<double> k2 = ExactKPathCentralityBruteForce(g, {0}, 2);
+  std::vector<double> k4 = ExactKPathCentralityBruteForce(g, {0}, 4);
+  // Not monotone in general per node, but for the start-anywhere model the
+  // total mass of walks touching a node grows with walk length on average.
+  EXPECT_GT(k4[0] + 0.2, k2[0]);  // loose sanity bound
+}
+
+TEST(KPath, RejectsInvalidTargets) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_DEATH(KPathProblem(g, {0, 0}, 2), "duplicate");
+}
+
+}  // namespace
+}  // namespace saphyra

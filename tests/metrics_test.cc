@@ -1,0 +1,150 @@
+#include "metrics/rank.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace saphyra {
+namespace {
+
+TEST(RanksDescending, LargestGetsRankOne) {
+  auto r = RanksDescending({0.1, 0.9, 0.5});
+  EXPECT_EQ(r, (std::vector<uint32_t>{3, 1, 2}));
+}
+
+TEST(RanksDescending, TiesBrokenById) {
+  auto r = RanksDescending({0.5, 0.5, 0.5});
+  EXPECT_EQ(r, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(Spearman, PerfectCorrelation) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+}
+
+TEST(Spearman, PerfectAntiCorrelation) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0);
+}
+
+TEST(Spearman, KnownTextbookValue) {
+  // Ranks truth: values 1..5 -> ranks 5..1; estimate swaps two adjacent
+  // items: d = (0,0,1,1,0), sum d^2 = 2 -> 1 - 12/120 = 0.9.
+  std::vector<double> truth = {5, 4, 3, 2, 1};
+  std::vector<double> est = {5, 4, 2, 3, 1};
+  EXPECT_NEAR(SpearmanCorrelation(truth, est), 0.9, 1e-12);
+}
+
+TEST(Spearman, ScaleInvariant) {
+  std::vector<double> truth = {0.3, 0.1, 0.7, 0.2};
+  std::vector<double> a = {3, 1, 7, 2};
+  std::vector<double> b = {300, 100, 700, 200};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(truth, a),
+                   SpearmanCorrelation(truth, b));
+}
+
+TEST(Kendall, PerfectAndReversed) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3}, {4, 5, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(Kendall, SingleSwap) {
+  // One discordant pair out of 6: tau = 1 - 2/6 = 2/3.
+  EXPECT_NEAR(KendallTau({4, 3, 2, 1}, {4, 3, 1, 2}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Kendall, MatchesQuadraticOracleOnRandomInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t k = 2 + rng.UniformInt(30);
+    std::vector<double> a(k), b(k);
+    for (size_t i = 0; i < k; ++i) {
+      a[i] = rng.UniformDouble();
+      b[i] = rng.UniformDouble();
+    }
+    auto ra = RanksDescending(a);
+    auto rb = RanksDescending(b);
+    long concordant = 0, discordant = 0;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        bool same = (ra[i] < ra[j]) == (rb[i] < rb[j]);
+        (same ? concordant : discordant) += 1;
+      }
+    }
+    double expected = static_cast<double>(concordant - discordant) /
+                      (static_cast<double>(k) * (k - 1) / 2.0);
+    EXPECT_NEAR(KendallTau(a, b), expected, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(RankDeviation, ZeroForIdenticalRanking) {
+  EXPECT_DOUBLE_EQ(RankDeviation({3, 2, 1}, {30, 20, 10}), 0.0);
+}
+
+TEST(RankDeviation, SingleItemIsZero) {
+  EXPECT_DOUBLE_EQ(RankDeviation({5.0}, {1.0}), 0.0);
+}
+
+TEST(RankDeviation, ReversedRanking) {
+  // k=4 reversed: |d| = 3,1,1,3 -> mean 2 -> /k = 0.5.
+  EXPECT_DOUBLE_EQ(RankDeviation({4, 3, 2, 1}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(RelativeError, SignedPercentages) {
+  auto err = SignedRelativeErrorPercent({1.0, 2.0, 4.0}, {1.1, 1.0, 4.0});
+  EXPECT_NEAR(err[0], 10.0, 1e-9);
+  EXPECT_NEAR(err[1], -50.0, 1e-9);
+  EXPECT_NEAR(err[2], 0.0, 1e-9);
+}
+
+TEST(RelativeError, ZeroTruthCases) {
+  auto err = SignedRelativeErrorPercent({0.0, 0.0}, {0.0, 0.5});
+  EXPECT_DOUBLE_EQ(err[0], 0.0);
+  EXPECT_TRUE(std::isinf(err[1]));
+}
+
+TEST(RelativeError, FalseZeroIsMinus100) {
+  auto err = SignedRelativeErrorPercent({0.25}, {0.0});
+  EXPECT_DOUBLE_EQ(err[0], -100.0);
+}
+
+TEST(ClassifyZeros, AllBuckets) {
+  ZeroStats s = ClassifyZeros({0.0, 0.5, 0.7, 0.0}, {0.0, 0.0, 0.3, 0.1});
+  EXPECT_EQ(s.true_zeros, 1u);
+  EXPECT_EQ(s.false_zeros, 1u);
+  EXPECT_EQ(s.nonzeros, 2u);
+}
+
+TEST(TrialAggregate, MeanMinMax) {
+  TrialAggregate agg;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) agg.Add(x);
+  EXPECT_EQ(agg.count(), 4u);
+  EXPECT_DOUBLE_EQ(agg.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(agg.min(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.max(), 4.0);
+}
+
+TEST(TrialAggregate, StdDevMatchesSampleFormula) {
+  TrialAggregate agg;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) agg.Add(x);
+  EXPECT_NEAR(agg.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(TrialAggregate, Ci95Shrinks) {
+  TrialAggregate small, large;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) small.Add(rng.UniformDouble());
+  for (int i = 0; i < 1000; ++i) large.Add(rng.UniformDouble());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(TrialAggregate, SingleValueHasZeroSpread) {
+  TrialAggregate agg;
+  agg.Add(3.14);
+  EXPECT_DOUBLE_EQ(agg.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.ci95_half_width(), 0.0);
+}
+
+}  // namespace
+}  // namespace saphyra

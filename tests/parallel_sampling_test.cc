@@ -1,0 +1,157 @@
+// Tests for multithreaded sample generation (SaphyraOptions::num_threads):
+// correctness of the merged counts, determinism for a fixed (seed, threads)
+// pair, and end-to-end (eps, delta) accuracy for every problem type that
+// implements CloneForSampling.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bc/brandes.h"
+#include "bc/saphyra_bc.h"
+#include "closeness/closeness.h"
+#include "core/saphyra.h"
+#include "graph/generators.h"
+#include "kpath/kpath.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::RandomConnectedGraph;
+
+/// Clonable synthetic problem: Bernoulli losses with known risks.
+class CloneableSynthetic : public HypothesisRankingProblem {
+ public:
+  explicit CloneableSynthetic(std::vector<double> risks)
+      : risks_(std::move(risks)) {}
+
+  size_t num_hypotheses() const override { return risks_.size(); }
+  double ComputeExactRisks(std::vector<double>* exact) override {
+    exact->assign(risks_.size(), 0.0);
+    return 0.0;
+  }
+  void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override {
+    for (size_t i = 0; i < risks_.size(); ++i) {
+      if (rng->Bernoulli(risks_[i])) hits->push_back(i);
+    }
+  }
+  double VcDimension() const override { return 2.0; }
+  std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
+    return std::make_unique<CloneableSynthetic>(risks_);
+  }
+
+ private:
+  std::vector<double> risks_;
+};
+
+TEST(ParallelSampling, AccurateWithFourThreads) {
+  CloneableSynthetic p({0.1, 0.3, 0.02});
+  SaphyraOptions opts;
+  opts.epsilon = 0.03;
+  opts.delta = 0.05;
+  opts.seed = 5;
+  opts.num_threads = 4;
+  SaphyraResult res = RunSaphyra(&p, opts);
+  EXPECT_NEAR(res.combined_risks[0], 0.1, opts.epsilon);
+  EXPECT_NEAR(res.combined_risks[1], 0.3, opts.epsilon);
+  EXPECT_NEAR(res.combined_risks[2], 0.02, opts.epsilon);
+}
+
+TEST(ParallelSampling, DeterministicForFixedSeedAndThreads) {
+  SaphyraOptions opts;
+  opts.epsilon = 0.05;
+  opts.seed = 9;
+  opts.num_threads = 3;
+  CloneableSynthetic p1({0.2, 0.05});
+  CloneableSynthetic p2({0.2, 0.05});
+  SaphyraResult a = RunSaphyra(&p1, opts);
+  SaphyraResult b = RunSaphyra(&p2, opts);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  EXPECT_EQ(a.combined_risks, b.combined_risks);
+}
+
+TEST(ParallelSampling, NonClonableProblemFallsBackToSerial) {
+  // The base class returns nullptr from CloneForSampling: the engine must
+  // silently run single-threaded.
+  class NonClonable : public HypothesisRankingProblem {
+   public:
+    size_t num_hypotheses() const override { return 1; }
+    double ComputeExactRisks(std::vector<double>* e) override {
+      e->assign(1, 0.0);
+      return 0.0;
+    }
+    void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override {
+      if (rng->Bernoulli(0.25)) hits->push_back(0);
+    }
+    double VcDimension() const override { return 1.0; }
+  };
+  NonClonable p;
+  SaphyraOptions opts;
+  opts.epsilon = 0.05;
+  opts.num_threads = 8;
+  SaphyraResult res = RunSaphyra(&p, opts);
+  EXPECT_NEAR(res.combined_risks[0], 0.25, opts.epsilon);
+}
+
+TEST(ParallelSampling, SaphyraBcMatchesTruthWithThreads) {
+  Graph g = RandomConnectedGraph(50, 0.08, 17);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  std::vector<NodeId> targets = {1, 5, 9, 13, 17, 21, 25};
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.04;
+  opts.delta = 0.05;
+  opts.seed = 3;
+  opts.num_threads = 4;
+  SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(res.bc[i], truth[targets[i]], opts.epsilon);
+  }
+}
+
+TEST(ParallelSampling, SaphyraBcDeterministicWithThreads) {
+  Graph g = BarabasiAlbert(120, 2, 23);
+  IspIndex isp(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  opts.seed = 11;
+  opts.num_threads = 2;
+  SaphyraBcResult a = RunSaphyraBc(isp, {3, 7, 11}, opts);
+  SaphyraBcResult b = RunSaphyraBc(isp, {3, 7, 11}, opts);
+  EXPECT_EQ(a.bc, b.bc);
+}
+
+TEST(ParallelSampling, KPathWithThreads) {
+  Graph g = RandomConnectedGraph(10, 0.15, 29);
+  std::vector<NodeId> targets = {0, 2, 4, 6};
+  auto truth = ExactKPathCentralityBruteForce(g, targets, 3);
+  SaphyraOptions opts;
+  opts.epsilon = 0.05;
+  opts.delta = 0.05;
+  opts.seed = 31;
+  opts.num_threads = 3;
+  auto est = EstimateKPathCentrality(g, targets, 3, opts);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(est[i], truth[i], opts.epsilon);
+  }
+}
+
+TEST(ParallelSampling, ClosenessWithThreads) {
+  Graph g = RandomConnectedGraph(40, 0.1, 37);
+  auto truth = ExactHarmonicCloseness(g);
+  std::vector<NodeId> targets = {0, 10, 20, 30};
+  SaphyraOptions opts;
+  opts.epsilon = 0.04;
+  opts.delta = 0.05;
+  opts.seed = 41;
+  opts.num_threads = 4;
+  auto est = EstimateHarmonicCloseness(g, targets, opts);
+  double allowance = opts.epsilon * g.num_nodes() / (g.num_nodes() - 1.0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(est[i], truth[targets[i]], allowance);
+  }
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,153 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntBoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double x = rng.UniformDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexMatchesWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Rng rng(21);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == child.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+TEST(AliasTable, UniformWeights) {
+  Rng rng(29);
+  AliasTable table(std::vector<double>(5, 1.0));
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c / 50000.0, 0.2, 0.02);
+}
+
+TEST(AliasTable, SkewedWeights) {
+  Rng rng(31);
+  AliasTable table({8.0, 1.0, 1.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.8, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.1, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  Rng rng(37);
+  AliasTable table({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.Sample(&rng), 1u);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  Rng rng(41);
+  AliasTable table({3.5});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTable, IndexProportionalWeightsMean) {
+  Rng rng(47);
+  std::vector<double> w(100);
+  double num = 0, den = 0;
+  for (int i = 0; i < 100; ++i) {
+    w[i] = i + 1.0;
+    num += i * (i + 1.0);
+    den += i + 1.0;
+  }
+  AliasTable table(w);
+  double mean = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) mean += static_cast<double>(table.Sample(&rng));
+  mean /= kDraws;
+  EXPECT_NEAR(mean, num / den, 0.5);
+}
+
+TEST(AliasTable, EmptyByDefault) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,265 @@
+#include "bc/saphyra_bc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bc/brandes.h"
+#include "graph/generators.h"
+#include "metrics/rank.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+std::vector<NodeId> AllNodes(const Graph& g) {
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  return all;
+}
+
+std::vector<NodeId> RandomSubset(const Graph& g, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> all = AllNodes(g);
+  for (size_t i = 0; i < k && i < all.size(); ++i) {
+    size_t j = i + rng.UniformInt(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(SaphyraBc, PaperFig2AllNodesWithinEpsilon) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.03;
+  opts.delta = 0.01;
+  opts.seed = 3;
+  SaphyraBcResult res = RunSaphyraBcFull(isp, opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.bc[v], truth[v], opts.epsilon) << "node " << v;
+  }
+  EXPECT_GT(res.gamma, 0.0);
+  EXPECT_NEAR(res.eta, 1.0, 1e-12);
+}
+
+TEST(SaphyraBc, CutpointCentralityIsExactOnTrees) {
+  // On a tree all centrality is break-point mass: no sampling error at all.
+  Graph g = RandomTree(40, 11);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.1;
+  SaphyraBcResult res = RunSaphyraBcFull(isp, opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(res.bc[v], truth[v], 1e-10) << "node " << v;
+  }
+}
+
+class SaphyraBcGraphSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  Graph MakeSweepGraph() {
+    auto [kind, seed] = GetParam();
+    switch (kind) {
+      case 0:
+        return RandomConnectedGraph(40, 0.08, seed);
+      case 1:
+        return BarabasiAlbert(60, 2, seed);
+      case 2:
+        return RoadGrid(9, 8, 0.85, seed).graph;
+      default:
+        return WattsStrogatz(50, 4, 0.2, seed);
+    }
+  }
+};
+
+TEST_P(SaphyraBcGraphSweep, SubsetEstimatesWithinEpsilon) {
+  Graph g = MakeSweepGraph();
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  auto [kind, seed] = GetParam();
+  std::vector<NodeId> targets = RandomSubset(g, 12, seed + 5);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.04;
+  opts.delta = 0.05;
+  opts.seed = seed;
+  SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(res.bc[i], truth[targets[i]], opts.epsilon)
+        << "target " << targets[i] << " kind " << kind;
+  }
+}
+
+TEST_P(SaphyraBcGraphSweep, NoFalseZeros) {
+  Graph g = MakeSweepGraph();
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  opts.seed = 99;
+  SaphyraBcResult res = RunSaphyraBcFull(isp, opts);
+  ZeroStats zeros = ClassifyZeros(truth, res.bc);
+  EXPECT_EQ(zeros.false_zeros, 0u);  // Lemma 19
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, SaphyraBcGraphSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(SaphyraBc, DeterministicForSeed) {
+  Graph g = BarabasiAlbert(80, 2, 21);
+  IspIndex isp(g);
+  std::vector<NodeId> targets = RandomSubset(g, 10, 4);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  opts.seed = 77;
+  SaphyraBcResult a = RunSaphyraBc(isp, targets, opts);
+  SaphyraBcResult b = RunSaphyraBc(isp, targets, opts);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bc[i], b.bc[i]);
+  }
+}
+
+TEST(SaphyraBc, RankCorrelationNearOneOnModerateGraph) {
+  Graph g = BarabasiAlbert(150, 3, 31);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  std::vector<NodeId> targets = RandomSubset(g, 30, 8);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.02;
+  opts.seed = 13;
+  SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+  std::vector<double> t_sub(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) t_sub[i] = truth[targets[i]];
+  EXPECT_GT(SpearmanCorrelation(t_sub, res.bc), 0.8);
+}
+
+TEST(SaphyraBc, AblationWithoutExactSubspaceStillAccurate) {
+  Graph g = RandomConnectedGraph(50, 0.08, 41);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  std::vector<NodeId> targets = RandomSubset(g, 15, 2);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.04;
+  opts.use_exact_subspace = false;
+  opts.seed = 5;
+  SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+  EXPECT_DOUBLE_EQ(res.lambda_hat, 0.0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(res.bc[i], truth[targets[i]], opts.epsilon);
+  }
+}
+
+TEST(SaphyraBc, UnidirectionalStrategyAgrees) {
+  Graph g = RandomConnectedGraph(40, 0.1, 51);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  std::vector<NodeId> targets = RandomSubset(g, 10, 3);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  opts.strategy = SamplingStrategy::kUnidirectional;
+  opts.seed = 6;
+  SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(res.bc[i], truth[targets[i]], opts.epsilon);
+  }
+}
+
+TEST(SaphyraBc, PersonalizationShrinksEta) {
+  // Targets inside one small component of a road-like graph: eta < 1 and
+  // fewer samples than the full run at equal epsilon.
+  RoadNetwork road = RoadGrid(16, 16, 0.8, 61);
+  IspIndex isp(road.graph);
+  auto targets = NodesInRectangle(road, 0, 0, 4, 4);
+  ASSERT_GE(targets.size(), 3u);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.02;
+  opts.seed = 9;
+  SaphyraBcResult sub = RunSaphyraBc(isp, targets, opts);
+  SaphyraBcResult full = RunSaphyraBcFull(isp, opts);
+  EXPECT_LT(sub.eta, 1.0);
+  EXPECT_LE(sub.max_samples, full.max_samples);
+}
+
+TEST(SaphyraBc, SingleTargetNode) {
+  Graph g = BarabasiAlbert(60, 2, 71);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  SaphyraBcResult res = RunSaphyraBc(isp, {7}, opts);
+  ASSERT_EQ(res.bc.size(), 1u);
+  EXPECT_NEAR(res.bc[0], truth[7], opts.epsilon);
+}
+
+TEST(SaphyraBc, LeafTargetsOnTreeLikeGraph) {
+  // Targets that are leaves: zero bc, and the algorithm must report ~0.
+  Graph g = MakeGraph(7, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 5}, {2, 6}});
+  IspIndex isp(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  SaphyraBcResult res = RunSaphyraBc(isp, {0, 4, 5}, opts);
+  for (double x : res.bc) EXPECT_NEAR(x, 0.0, 1e-10);
+}
+
+TEST(SaphyraBc, VcBoundSmallerForLocalizedSubsets) {
+  RoadNetwork road = RoadGrid(20, 20, 0.9, 81);
+  IspIndex isp(road.graph);
+  auto local = NodesInRectangle(road, 0, 0, 3, 3);
+  ASSERT_GE(local.size(), 2u);
+  SaphyraBcOptions opts;
+  SaphyraBcResult res_local = RunSaphyraBc(isp, local, opts);
+  SaphyraBcResult res_full = RunSaphyraBcFull(isp, opts);
+  EXPECT_LE(res_local.vc_bound, res_full.vc_bound);
+}
+
+TEST(SaphyraBc, ReportsDiagnostics) {
+  Graph g = BarabasiAlbert(100, 2, 91);
+  IspIndex isp(g);
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.05;
+  SaphyraBcResult res = RunSaphyraBc(isp, RandomSubset(g, 10, 1), opts);
+  EXPECT_GT(res.total_seconds, 0.0);
+  EXPECT_GT(res.samples_used, 0u);
+  EXPECT_GE(res.max_samples, res.samples_used);
+  EXPECT_GT(res.vc_bound, 0.0);
+  EXPECT_GE(res.lambda_hat, 0.0);
+  EXPECT_LT(res.lambda_hat, 1.0);
+}
+
+// Statistical guarantee: violations of the (eps, delta) bound must be rare.
+TEST(SaphyraBc, EpsilonDeltaGuaranteeAcrossSeeds) {
+  Graph g = RandomConnectedGraph(30, 0.1, 123);
+  IspIndex isp(g);
+  std::vector<double> truth = BrandesBetweenness(g);
+  const double eps = 0.05;
+  int violations = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    SaphyraBcOptions opts;
+    opts.epsilon = eps;
+    opts.delta = 0.1;
+    opts.seed = 9000 + t;
+    std::vector<NodeId> targets = RandomSubset(g, 10, t);
+    SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (std::abs(res.bc[i] - truth[targets[i]]) >= eps) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(violations, 3);
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,60 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(Status, InvalidArgumentCarriesMessage) {
+  Status st = Status::InvalidArgument("bad node id");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad node id");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad node id");
+}
+
+TEST(Status, AllErrorFactories) {
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IOError: disk gone");
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+}
+
+Status Fails() { return Status::NotFound("nope"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UsesReturnMacro(bool fail) {
+  SAPHYRA_RETURN_NOT_OK(Succeeds());
+  if (fail) {
+    SAPHYRA_RETURN_NOT_OK(Fails());
+  }
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnMacro(false).ok());
+  Status st = UsesReturnMacro(true);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,50 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double s = t.ElapsedSeconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Timer, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 0.015);
+}
+
+TEST(Timer, MillisMatchesSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double s = t.ElapsedSeconds();
+  double ms = t.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1000.0, 50.0);
+}
+
+TEST(FormatDuration, Microseconds) {
+  EXPECT_EQ(FormatDuration(12e-6), "12.0us");
+}
+
+TEST(FormatDuration, Milliseconds) {
+  EXPECT_EQ(FormatDuration(0.0425), "42.5ms");
+}
+
+TEST(FormatDuration, Seconds) {
+  EXPECT_EQ(FormatDuration(3.21), "3.21s");
+}
+
+TEST(FormatDuration, Minutes) {
+  EXPECT_EQ(FormatDuration(150.0), "2.5min");
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,133 @@
+#include "bc/vc_bc.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+TEST(RiondatoVcBound, CycleGraph) {
+  // C8: exact diameter 4; the 2-ecc upper bound gives VD_ub in [4, 8].
+  Graph g = MakeGraph(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                          {6, 7}, {7, 0}});
+  double b = RiondatoVcBound(g);
+  // floor(log2(VD_ub - 1)) + 1 for VD_ub in [4, 8] -> in [2, 3].
+  EXPECT_GE(b, 2.0);
+  EXPECT_LE(b, 3.0);
+}
+
+TEST(RiondatoVcBound, GrowsWithDiameter) {
+  Graph small = WattsStrogatz(64, 4, 0.3, 3);   // small world, tiny diameter
+  Graph large = RoadGrid(40, 3, 1.0, 4).graph;  // long strip
+  EXPECT_LE(RiondatoVcBound(small), RiondatoVcBound(large));
+}
+
+TEST(FullNetworkVcBound, TreeIsZero) {
+  // Trees have only bridge components: no component hosts inner nodes.
+  Graph g = RandomTree(50, 7);
+  IspIndex isp(g);
+  EXPECT_DOUBLE_EQ(FullNetworkVcBound(isp), 0.0);
+}
+
+TEST(FullNetworkVcBound, AtMostRiondatoOnBicompRichGraphs) {
+  RoadNetwork road = RoadGrid(30, 30, 0.7, 9);
+  IspIndex isp(road.graph);
+  // Both are upper bounds computed from 2-ecc estimates; the bi-component
+  // bound cannot exceed the whole-graph bound by more than the estimation
+  // slack of one BFS seed choice.
+  EXPECT_LE(FullNetworkVcBound(isp), RiondatoVcBound(road.graph) + 1.0);
+}
+
+TEST(FullNetworkVcBound, ReportsBdUpper) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  uint32_t bd = 0;
+  FullNetworkVcBound(isp, &bd);
+  // Largest component is the pentagon (diameter 2): 2*ecc gives 4.
+  EXPECT_GE(bd, 2u);
+  EXPECT_LE(bd, 4u);
+}
+
+TEST(PersonalizedVcBounds, EmptySubsetIsZero) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  PersonalizedSpace space(isp, {});
+  VcBcBounds b = ComputePersonalizedVcBounds(space);
+  EXPECT_DOUBLE_EQ(b.bs_bound, 0.0);
+  EXPECT_DOUBLE_EQ(b.vc_bound, 0.0);
+}
+
+TEST(PersonalizedVcBounds, BridgeOnlyTargetsAreZero) {
+  // Targets f(5): only in the bridge {d,f}; no inner nodes possible.
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  PersonalizedSpace space(isp, {5});
+  VcBcBounds b = ComputePersonalizedVcBounds(space);
+  EXPECT_DOUBLE_EQ(b.bs_bound, 0.0);
+}
+
+TEST(PersonalizedVcBounds, SingleTargetInPentagonCapsAtOne) {
+  // |A ∩ C_pentagon| = 1, so BS(A) <= 1 and VC <= 1 (Lemma 23's |A∩C_i|
+  // term dominates).
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  PersonalizedSpace space(isp, {1});
+  VcBcBounds b = ComputePersonalizedVcBounds(space);
+  EXPECT_LE(b.bs_bound, 1.0);
+  EXPECT_LE(b.vc_bound, 1.0);
+}
+
+TEST(PersonalizedVcBounds, SubsetCountTermScales) {
+  // A long cycle: VD grows, but tiny subsets keep BS <= |A ∩ C|.
+  GraphBuilder builder;
+  const NodeId n = 60;
+  for (NodeId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  Graph g;
+  ASSERT_TRUE(builder.Build(n, &g).ok());
+  IspIndex isp(g);
+  PersonalizedSpace small(isp, {0, 30});
+  PersonalizedSpace large(isp, [] {
+    std::vector<NodeId> t;
+    for (NodeId v = 0; v < 30; ++v) t.push_back(v);
+    return t;
+  }());
+  VcBcBounds bs = ComputePersonalizedVcBounds(small);
+  VcBcBounds bl = ComputePersonalizedVcBounds(large);
+  EXPECT_LE(bs.bs_bound, 2.0);  // |A ∩ C| = 2
+  EXPECT_GT(bl.bs_bound, bs.bs_bound);
+}
+
+TEST(PersonalizedVcBounds, MonotoneInSubsetUpToEstimationSlack) {
+  Graph g = RandomConnectedGraph(60, 0.08, 13);
+  IspIndex isp(g);
+  PersonalizedSpace small(isp, {1, 2, 3});
+  std::vector<NodeId> many;
+  for (NodeId v = 0; v < 30; ++v) many.push_back(v);
+  PersonalizedSpace large(isp, many);
+  VcBcBounds bs = ComputePersonalizedVcBounds(small);
+  VcBcBounds bl = ComputePersonalizedVcBounds(large);
+  // Both bound BS(A); a subset of a subset can never have a larger true
+  // BS. The 2-ecc estimates may wobble by one doubling, hence the slack.
+  EXPECT_LE(bs.vc_bound, bl.vc_bound + 1.0);
+}
+
+TEST(PersonalizedVcBounds, ReportsDiameterBounds) {
+  RoadNetwork road = RoadGrid(20, 20, 0.9, 17);
+  IspIndex isp(road.graph);
+  auto targets = NodesInRectangle(road, 0, 0, 6, 6);
+  ASSERT_GE(targets.size(), 2u);
+  PersonalizedSpace space(isp, targets);
+  VcBcBounds b = ComputePersonalizedVcBounds(space);
+  EXPECT_GT(b.bd_upper, 0u);
+  EXPECT_LE(b.sd_upper, b.bd_upper);
+}
+
+}  // namespace
+}  // namespace saphyra

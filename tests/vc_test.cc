@@ -1,0 +1,59 @@
+#include "stats/vc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace {
+
+TEST(VcSampleBound, MatchesLemma4Formula) {
+  // N = c/eps^2 (VC + ln 1/delta).
+  double eps = 0.1, delta = 0.01, vc = 3.0;
+  uint64_t expected = static_cast<uint64_t>(
+      std::ceil(0.5 / (eps * eps) * (vc + std::log(1.0 / delta))));
+  EXPECT_EQ(VcSampleBound(eps, delta, vc), expected);
+}
+
+TEST(VcSampleBound, ScalesInverseQuadratically) {
+  uint64_t coarse = VcSampleBound(0.1, 0.01, 2.0);
+  uint64_t fine = VcSampleBound(0.01, 0.01, 2.0);
+  EXPECT_NEAR(static_cast<double>(fine) / static_cast<double>(coarse), 100.0,
+              1.0);
+}
+
+TEST(VcSampleBound, GrowsWithVcDimension) {
+  EXPECT_LT(VcSampleBound(0.05, 0.01, 1.0), VcSampleBound(0.05, 0.01, 10.0));
+}
+
+TEST(VcSampleBound, GrowsAsDeltaShrinks) {
+  EXPECT_LT(VcSampleBound(0.05, 0.1, 2.0), VcSampleBound(0.05, 0.001, 2.0));
+}
+
+TEST(VcSampleBound, CustomConstant) {
+  EXPECT_EQ(VcSampleBound(0.1, 0.01, 0.0, 1.0),
+            static_cast<uint64_t>(std::ceil(100.0 * std::log(100.0))));
+}
+
+TEST(PiMaxVcBound, Lemma5Values) {
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(1), 1.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(2), 2.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(3), 2.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(4), 3.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(7), 3.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(8), 4.0);
+  EXPECT_DOUBLE_EQ(PiMaxVcBound(1024), 11.0);
+}
+
+TEST(PiMaxVcBound, MonotoneNonDecreasing) {
+  double prev = PiMaxVcBound(1);
+  for (uint64_t p = 2; p < 100; ++p) {
+    double cur = PiMaxVcBound(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -1,0 +1,247 @@
+// saphyra_rank — command-line node ranking.
+//
+// Loads a graph, picks (or reads) a target subset, and ranks it by
+// betweenness centrality with SaPHyRa_bc, ABRA or KADABRA.
+//
+// Usage:
+//   saphyra_rank --graph edges.txt [--format snap|dimacs]
+//                [--targets targets.txt | --random-targets K]
+//                [--algorithm saphyra|saphyra-full|abra|kadabra]
+//                [--epsilon 0.05] [--delta 0.01] [--seed 1]
+//                [--lcc] [--output ranking.tsv]
+//
+// The targets file holds one node id per line ('#' comments allowed).
+// Output: "<rank>\t<node>\t<estimate>" sorted by rank; diagnostics go to
+// stderr.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/abra.h"
+#include "baselines/kadabra.h"
+#include "bc/saphyra_bc.h"
+#include "graph/connectivity.h"
+#include "graph/io.h"
+#include "metrics/rank.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace saphyra;
+
+namespace {
+
+struct Args {
+  std::string graph_path;
+  std::string format = "snap";
+  std::string targets_path;
+  size_t random_targets = 0;
+  std::string algorithm = "saphyra";
+  double epsilon = 0.05;
+  double delta = 0.01;
+  uint64_t seed = 1;
+  bool lcc = false;
+  std::string output;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --graph FILE [--format snap|dimacs]\n"
+      "          [--targets FILE | --random-targets K]\n"
+      "          [--algorithm saphyra|saphyra-full|abra|kadabra]\n"
+      "          [--epsilon E] [--delta D] [--seed S] [--lcc]\n"
+      "          [--output FILE]\n",
+      argv0);
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* val = nullptr;
+    if (key == "--lcc") {
+      args->lcc = true;
+    } else if (key == "--graph" && (val = next())) {
+      args->graph_path = val;
+    } else if (key == "--format" && (val = next())) {
+      args->format = val;
+    } else if (key == "--targets" && (val = next())) {
+      args->targets_path = val;
+    } else if (key == "--random-targets" && (val = next())) {
+      args->random_targets = std::strtoull(val, nullptr, 10);
+    } else if (key == "--algorithm" && (val = next())) {
+      args->algorithm = val;
+    } else if (key == "--epsilon" && (val = next())) {
+      args->epsilon = std::atof(val);
+    } else if (key == "--delta" && (val = next())) {
+      args->delta = std::atof(val);
+    } else if (key == "--seed" && (val = next())) {
+      args->seed = std::strtoull(val, nullptr, 10);
+    } else if (key == "--output" && (val = next())) {
+      args->output = val;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n", key.c_str());
+      return false;
+    }
+  }
+  if (args->graph_path.empty()) {
+    std::fprintf(stderr, "--graph is required\n");
+    return false;
+  }
+  if (!args->targets_path.empty() && args->random_targets > 0) {
+    std::fprintf(stderr, "--targets and --random-targets are exclusive\n");
+    return false;
+  }
+  return true;
+}
+
+bool LoadTargets(const std::string& path, NodeId num_nodes,
+                 std::vector<NodeId>* targets) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open targets file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    uint64_t id = std::strtoull(line.c_str(), nullptr, 10);
+    if (id >= num_nodes) {
+      std::fprintf(stderr, "target id %llu out of range (n=%u)\n",
+                   static_cast<unsigned long long>(id), num_nodes);
+      return false;
+    }
+    targets->push_back(static_cast<NodeId>(id));
+  }
+  std::sort(targets->begin(), targets->end());
+  targets->erase(std::unique(targets->begin(), targets->end()),
+                 targets->end());
+  return !targets->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  Timer timer;
+  Graph g;
+  Status st = args.format == "dimacs"
+                  ? LoadDimacsGraph(args.graph_path, &g)
+                  : LoadSnapEdgeList(args.graph_path, &g);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (args.lcc) g = LargestComponent(g);
+  std::fprintf(stderr, "loaded %s in %s\n", g.DebugString().c_str(),
+               FormatDuration(timer.ElapsedSeconds()).c_str());
+  if (g.num_nodes() < 2) {
+    std::fprintf(stderr, "graph too small to rank\n");
+    return 1;
+  }
+
+  std::vector<NodeId> targets;
+  if (!args.targets_path.empty()) {
+    if (!LoadTargets(args.targets_path, g.num_nodes(), &targets)) return 1;
+  } else if (args.random_targets > 0) {
+    Rng rng(args.seed ^ 0xA5A5A5A5ULL);
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    size_t k = std::min<size_t>(args.random_targets, all.size());
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + rng.UniformInt(all.size() - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    targets = std::move(all);
+  } else {
+    targets.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) targets[v] = v;
+  }
+  std::fprintf(stderr, "ranking %zu target nodes with %s (eps=%g, delta=%g)\n",
+               targets.size(), args.algorithm.c_str(), args.epsilon,
+               args.delta);
+
+  timer.Restart();
+  std::vector<double> estimates;
+  if (args.algorithm == "saphyra" || args.algorithm == "saphyra-full") {
+    IspIndex isp(g);
+    SaphyraBcOptions opts;
+    opts.epsilon = args.epsilon;
+    opts.delta = args.delta;
+    opts.seed = args.seed;
+    SaphyraBcResult res =
+        args.algorithm == "saphyra-full"
+            ? RunSaphyraBcFull(isp, opts)
+            : RunSaphyraBc(isp, targets, opts);
+    if (args.algorithm == "saphyra-full") {
+      estimates.reserve(targets.size());
+      for (NodeId v : targets) estimates.push_back(res.bc[v]);
+    } else {
+      estimates = std::move(res.bc);
+    }
+    std::fprintf(stderr,
+                 "samples=%llu/%llu eta=%.4f lambda_hat=%.4f vc=%.0f\n",
+                 static_cast<unsigned long long>(res.samples_used),
+                 static_cast<unsigned long long>(res.max_samples), res.eta,
+                 res.lambda_hat, res.vc_bound);
+  } else if (args.algorithm == "abra") {
+    AbraOptions opts;
+    opts.epsilon = args.epsilon;
+    opts.delta = args.delta;
+    opts.seed = args.seed;
+    AbraResult res = RunAbra(g, opts);
+    for (NodeId v : targets) estimates.push_back(res.bc[v]);
+  } else if (args.algorithm == "kadabra") {
+    KadabraOptions opts;
+    opts.epsilon = args.epsilon;
+    opts.delta = args.delta;
+    opts.seed = args.seed;
+    KadabraResult res = RunKadabra(g, opts);
+    for (NodeId v : targets) estimates.push_back(res.bc[v]);
+  } else {
+    std::fprintf(stderr, "unknown algorithm %s\n", args.algorithm.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "ranked in %s\n",
+               FormatDuration(timer.ElapsedSeconds()).c_str());
+
+  std::vector<uint32_t> ranks = RanksDescending(estimates);
+  std::vector<size_t> order(targets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ranks[a] < ranks[b]; });
+
+  std::ofstream file_out;
+  std::ostream* out = nullptr;
+  if (!args.output.empty()) {
+    file_out.open(args.output);
+    if (!file_out) {
+      std::fprintf(stderr, "cannot open %s\n", args.output.c_str());
+      return 1;
+    }
+    out = &file_out;
+  }
+  for (size_t i : order) {
+    if (out != nullptr) {
+      *out << ranks[i] << '\t' << targets[i] << '\t' << estimates[i] << '\n';
+    } else {
+      std::printf("%u\t%u\t%.10f\n", ranks[i], targets[i], estimates[i]);
+    }
+  }
+  return 0;
+}
