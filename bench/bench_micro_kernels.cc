@@ -1,16 +1,29 @@
 // Google-benchmark micro suite for the kernels the estimators spend their
 // time in: BFS, biconnected decomposition, block-cut-tree construction,
-// uniform path sampling (both strategies), one Brandes source, and the
-// Exact_bc 2-hop pass.
+// uniform path sampling (both strategies and both substrates), one Brandes
+// source, and the Exact_bc 2-hop pass.
+//
+// In addition to the gbench timings, a hand-rolled speedup suite runs first
+// and prints machine-readable before/after ratios for the optimizations this
+// codebase tracks (component-view vs. filtered sampling, pooled vs.
+// spawn-per-round engine). Pass --speedup_json=PATH to also dump them as
+// JSON (tools/run_benchmarks.sh does).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <thread>
 
 #include "bc/brandes.h"
 #include "bc/exact_subspace.h"
 #include "bc/path_sampler.h"
 #include "bench_util.h"
 #include "bicomp/isp.h"
+#include "core/sample_engine.h"
 #include "graph/bfs.h"
+#include "seed_path_sampler.h"
+#include "util/thread_pool.h"
 
 using namespace saphyra;
 using namespace saphyra::bench;
@@ -19,6 +32,13 @@ namespace {
 
 const Graph& SocialFixture() {
   static Graph g = SocialGraph(20000, 0.3, 5, 900);
+  return g;
+}
+
+// Leaf-heavy social surrogate (flickr-s profile): hubs carry many filtered
+// bridge arcs, the worst case for the legacy per-arc component test.
+const Graph& LeafySocialFixture() {
+  static Graph g = SocialGraph(20000, 0.55, 5, 902);
   return g;
 }
 
@@ -32,10 +52,223 @@ const IspIndex& SocialIsp() {
   return isp;
 }
 
+const IspIndex& LeafySocialIsp() {
+  static IspIndex isp(LeafySocialFixture());
+  return isp;
+}
+
 const IspIndex& RoadIsp() {
   static IspIndex isp(RoadFixture());
   return isp;
 }
+
+const IspIndex& IspFixture(int which) {
+  switch (which) {
+    case 0: return SocialIsp();
+    case 1: return RoadIsp();
+    default: return LeafySocialIsp();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Speedup suite: paired before/after measurements with explicit ratios.
+// ---------------------------------------------------------------------------
+
+struct GenBcTriple {
+  uint32_t comp;
+  NodeId s, t;
+};
+
+std::vector<GenBcTriple> DrawTriples(const IspIndex& isp,
+                                     const PersonalizedSpace& space,
+                                     size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GenBcTriple> triples;
+  triples.reserve(count);
+  while (triples.size() < count) {
+    uint32_t c = space.SampleComponent(&rng);
+    NodeId s = isp.SampleSource(c, &rng);
+    NodeId t = isp.SampleTarget(c, s, &rng);
+    triples.push_back({c, s, t});
+  }
+  return triples;
+}
+
+/// Seconds to sample every pre-drawn (comp, s, t) triple with `sampler`.
+template <class Sampler>
+double TimeGenBcOnce(Sampler& sampler,
+                     const std::vector<GenBcTriple>& triples, uint64_t seed) {
+  PathSample path;
+  Rng rng(seed);
+  Timer timer;
+  for (const GenBcTriple& x : triples) {
+    sampler.SampleUniformPath(x.s, x.t, x.comp,
+                              SamplingStrategy::kBidirectional, &rng, &path);
+    benchmark::DoNotOptimize(path.length);
+  }
+  return timer.ElapsedSeconds();
+}
+
+struct Speedup {
+  const char* key;
+  double baseline_s;
+  double optimized_s;
+  double ratio() const { return baseline_s / optimized_s; }
+};
+
+/// Component-restricted path sampling: the frozen seed implementation
+/// (filtered global CSR, bench/seed_path_sampler.h) vs. the production
+/// component-view fast path.
+Speedup MeasurePathSampling(const char* key, const IspIndex& isp,
+                            size_t samples, uint64_t seed) {
+  PersonalizedSpace space(isp, RandomSubset(isp.graph(), 100, seed));
+  std::vector<GenBcTriple> triples = DrawTriples(isp, space, samples, seed);
+  SeedPathSampler seed_sampler(isp.graph(), &isp.bcc().arc_component);
+  PathSampler view(isp.graph(), isp.views());
+  // Interleaved min-of-5: alternating the two samplers per repetition keeps
+  // slow drift of the host (frequency scaling, noisy neighbors) from
+  // landing entirely on one side of the ratio.
+  double base = 1e100, opt = 1e100;
+  TimeGenBcOnce(seed_sampler, triples, seed + 1);  // warmup
+  TimeGenBcOnce(view, triples, seed + 1);
+  for (int r = 0; r < 5; ++r) {
+    base = std::min(base, TimeGenBcOnce(seed_sampler, triples, seed + 1));
+    opt = std::min(opt, TimeGenBcOnce(view, triples, seed + 1));
+  }
+  return {key, base, opt};
+}
+
+/// Cheap clonable problem: engine overhead dominates, which is exactly what
+/// the pooled-vs-spawn comparison is about.
+class EngineBenchProblem : public HypothesisRankingProblem {
+ public:
+  size_t num_hypotheses() const override { return 16; }
+  double ComputeExactRisks(std::vector<double>* exact) override {
+    exact->assign(16, 0.0);
+    return 0.0;
+  }
+  void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override {
+    hits->push_back(static_cast<uint32_t>(rng->UniformInt(16)));
+  }
+  double VcDimension() const override { return 2.0; }
+  std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
+    return std::make_unique<EngineBenchProblem>();
+  }
+};
+
+/// The seed's Draw: spawn + join one std::thread per worker, every round.
+double TimeSpawnPerRound(int rounds, uint64_t per_round, uint32_t workers) {
+  EngineBenchProblem problem;
+  Rng base(77);
+  std::vector<std::unique_ptr<HypothesisRankingProblem>> clones;
+  std::vector<HypothesisRankingProblem*> ptrs{&problem};
+  for (uint32_t i = 1; i < workers; ++i) {
+    clones.push_back(problem.CloneForSampling());
+    ptrs.push_back(clones.back().get());
+  }
+  std::vector<Rng> rngs;
+  std::vector<std::vector<uint64_t>> local(workers,
+                                           std::vector<uint64_t>(16, 0));
+  for (uint32_t w = 0; w < workers; ++w) rngs.push_back(base.Split());
+  std::vector<uint64_t> counts(16, 0);
+  Timer timer;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::thread> threads;
+    const uint64_t per = per_round / workers;
+    const uint64_t extra = per_round % workers;
+    for (uint32_t w = 0; w < workers; ++w) {
+      uint64_t quota = per + (w < extra ? 1 : 0);
+      threads.emplace_back([&, w, quota] {
+        std::vector<uint32_t> hits;
+        for (uint64_t j = 0; j < quota; ++j) {
+          hits.clear();
+          ptrs[w]->SampleApproxLosses(&rngs[w], &hits);
+          for (uint32_t i : hits) ++local[w][i];
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& l : local) {
+      for (size_t i = 0; i < counts.size(); ++i) {
+        counts[i] += l[i];
+        l[i] = 0;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(counts);
+  return timer.ElapsedSeconds();
+}
+
+double TimePooled(int rounds, uint64_t per_round, uint32_t workers) {
+  EngineBenchProblem problem;
+  Rng base(77);
+  SampleEngine engine(&problem, workers, &base, &SharedThreadPool());
+  std::vector<uint64_t> counts(16, 0);
+  Timer timer;
+  uint64_t n = 0;
+  for (int r = 0; r < rounds; ++r) {
+    n = engine.Draw(n, n + per_round, &counts);
+  }
+  benchmark::DoNotOptimize(counts);
+  return timer.ElapsedSeconds();
+}
+
+Speedup MeasurePooledEngine() {
+  const int rounds = 300;
+  const uint64_t per_round = 512;
+  const uint32_t workers = 4;
+  // Warm both paths (pool creation, allocator) before timing.
+  TimeSpawnPerRound(4, per_round, workers);
+  TimePooled(4, per_round, workers);
+  double base = 1e100, opt = 1e100;
+  for (int r = 0; r < 3; ++r) {
+    base = std::min(base, TimeSpawnPerRound(rounds, per_round, workers));
+    opt = std::min(opt, TimePooled(rounds, per_round, workers));
+  }
+  return {"pooled_engine", base, opt};
+}
+
+void RunSpeedupSuite(const std::string& json_path) {
+  std::printf("==== optimization speedups (baseline / optimized) ====\n");
+  std::vector<Speedup> results;
+  results.push_back(
+      MeasurePathSampling("path_sampling_social", SocialIsp(), 30000, 42));
+  results.push_back(MeasurePathSampling("path_sampling_leafy_social",
+                                        LeafySocialIsp(), 30000, 43));
+  results.push_back(
+      MeasurePathSampling("path_sampling_road", RoadIsp(), 4000, 44));
+  results.push_back(MeasurePooledEngine());
+
+  double geo = 1.0;
+  int npath = 0;
+  for (const Speedup& s : results) {
+    std::printf("[speedup] %-28s baseline=%.4fs optimized=%.4fs ratio=%.2fx\n",
+                s.key, s.baseline_s, s.optimized_s, s.ratio());
+    if (std::strncmp(s.key, "path_sampling", 13) == 0) {
+      geo *= s.ratio();
+      ++npath;
+    }
+  }
+  const double path_speedup = std::pow(geo, 1.0 / npath);
+  std::printf("[speedup] %-28s ratio=%.2fx (geomean of %d fixtures)\n",
+              "path_sampling", path_speedup, npath);
+
+  if (json_path.empty()) return;
+  std::ofstream out(json_path);
+  out << "{\n";
+  for (const Speedup& s : results) {
+    out << "  \"" << s.key << "_baseline_seconds\": " << s.baseline_s << ",\n";
+    out << "  \"" << s.key << "_optimized_seconds\": " << s.optimized_s
+        << ",\n";
+    out << "  \"" << s.key << "_speedup\": " << s.ratio() << ",\n";
+  }
+  out << "  \"path_sampling_speedup\": " << path_speedup << "\n}\n";
+  std::printf("[speedup] wrote %s\n", json_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// gbench kernels.
+// ---------------------------------------------------------------------------
 
 void BM_BfsSocial(benchmark::State& state) {
   const Graph& g = SocialFixture();
@@ -57,6 +290,22 @@ void BM_BfsWithCountsSocial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsWithCountsSocial);
+
+// The std::function edge-filter path, with a filter that rejects nothing:
+// isolates the per-arc indirect-call cost the templated no-filter
+// instantiation eliminates.
+void BM_BfsWithCountsNoopFilter(benchmark::State& state) {
+  const Graph& g = SocialFixture();
+  std::function<bool(NodeId, NodeId)> accept_all = [](NodeId, NodeId) {
+    return true;
+  };
+  Rng rng(2);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(BfsWithCounts(g, s, &accept_all));
+  }
+}
+BENCHMARK(BM_BfsWithCountsNoopFilter);
 
 void BM_BiconnectedDecomposition(benchmark::State& state) {
   const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();
@@ -93,10 +342,10 @@ void BM_PathSample(benchmark::State& state) {
 BENCHMARK(BM_PathSample<SamplingStrategy::kBidirectional>)->Arg(0)->Arg(1);
 BENCHMARK(BM_PathSample<SamplingStrategy::kUnidirectional>)->Arg(0)->Arg(1);
 
-void BM_GenBcSample(benchmark::State& state) {
-  const IspIndex& isp = state.range(0) == 0 ? SocialIsp() : RoadIsp();
-  PersonalizedSpace space(isp,
-                          RandomSubset(isp.graph(), 100, 42));
+// Gen_bc sampling on the seed's filtered global CSR (ablation baseline).
+void BM_GenBcSampleFiltered(benchmark::State& state) {
+  const IspIndex& isp = IspFixture(static_cast<int>(state.range(0)));
+  PersonalizedSpace space(isp, RandomSubset(isp.graph(), 100, 42));
   PathSampler sampler(isp.graph(), &isp.bcc().arc_component);
   Rng rng(4);
   PathSample path;
@@ -110,7 +359,26 @@ void BM_GenBcSample(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_GenBcSample)->Arg(0)->Arg(1);
+BENCHMARK(BM_GenBcSampleFiltered)->Arg(0)->Arg(1)->Arg(2);
+
+// Gen_bc sampling on the component-view CSR (production path).
+void BM_GenBcSampleView(benchmark::State& state) {
+  const IspIndex& isp = IspFixture(static_cast<int>(state.range(0)));
+  PersonalizedSpace space(isp, RandomSubset(isp.graph(), 100, 42));
+  PathSampler sampler(isp.graph(), isp.views());
+  Rng rng(4);
+  PathSample path;
+  for (auto _ : state) {
+    uint32_t c = space.SampleComponent(&rng);
+    NodeId s = isp.SampleSource(c, &rng);
+    NodeId t = isp.SampleTarget(c, s, &rng);
+    sampler.SampleUniformPath(s, t, c, SamplingStrategy::kBidirectional,
+                              &rng, &path);
+    benchmark::DoNotOptimize(path.length);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenBcSampleView)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BrandesSingleSource(benchmark::State& state) {
   const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();
@@ -136,4 +404,30 @@ BENCHMARK(BM_ExactSubspace)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool saw_speedup_flag = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--speedup_json=", 15) == 0) {
+      json_path = argv[i] + 15;
+      saw_speedup_flag = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // The speedup suite takes minutes; run it for plain invocations and when
+  // explicitly requested, but not when someone is iterating on a single
+  // gbench kernel via --benchmark_* flags.
+  if (saw_speedup_flag || passthrough.size() == 1) {
+    RunSpeedupSuite(json_path);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

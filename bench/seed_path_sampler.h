@@ -1,0 +1,267 @@
+#ifndef SAPHYRA_BENCH_SEED_PATH_SAMPLER_H_
+#define SAPHYRA_BENCH_SEED_PATH_SAMPLER_H_
+
+// Frozen copy of the seed revision's PathSampler (commit 9b2029f), kept as
+// the perf baseline the speedup suite measures the component-view fast path
+// against. Do not optimize this file: its purpose is to preserve what the
+// seed implementation did (global CSR, per-arc ArcAllowed filter, separate
+// epoch/dist/sigma arrays, per-sample walk allocation). Renamed
+// SeedPathSampler; PathSample and SamplingStrategy are shared with the
+// production header.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bc/path_sampler.h"
+#include "bicomp/biconnected.h"
+#include "graph/graph.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace saphyra {
+namespace bench {
+
+/// \brief Samples uniform random shortest paths between node pairs, with
+/// optional restriction to one biconnected component.
+///
+/// A sampled path is uniform over the σ_st shortest s-t paths: BFS path
+/// counts σ are computed from both endpoints, a "middle" node is drawn with
+/// probability σ_s(v)·σ_t(v)/σ_st, and the two halves are completed by
+/// backward walks choosing each predecessor proportionally to its σ.
+///
+/// All scratch memory is owned by the sampler and reset in O(touched) via
+/// epoch counters, so one instance can serve millions of samples with no
+/// allocation in the steady state. Instances are not thread-safe; create
+/// one per thread.
+class SeedPathSampler {
+ public:
+  /// \brief `arc_component` may be null (no restriction support needed) or
+  /// point at BiconnectedComponents::arc_component with one label per arc.
+  SeedPathSampler(const Graph& g, const std::vector<uint32_t>* arc_component);
+
+  /// \brief Sample a uniform shortest path from s to t (s != t).
+  ///
+  /// If `comp != kInvalidComp`, only arcs labeled `comp` are traversed;
+  /// s and t must then be members of that component. Returns false (and
+  /// found=false) if t is unreachable.
+  bool SampleUniformPath(NodeId s, NodeId t, uint32_t comp,
+                         SamplingStrategy strategy, Rng* rng,
+                         PathSample* out);
+
+  /// \brief Arcs scanned by the most recent call (cost diagnostics).
+  uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+
+ private:
+  struct Side {
+    std::vector<uint32_t> dist;
+    std::vector<double> sigma;
+    std::vector<uint64_t> epoch;
+    std::vector<NodeId> frontier;
+    std::vector<NodeId> next;
+    uint32_t depth = 0;
+  };
+
+  bool ArcAllowed(EdgeIndex arc, uint32_t comp) const {
+    return comp == kInvalidComp || (*arc_component_)[arc] == comp;
+  }
+  void InitSide(Side* side, NodeId origin);
+  uint32_t Dist(const Side& side, NodeId v) const {
+    return side.epoch[v] == epoch_ ? side.dist[v] : kNoDist;
+  }
+  double Sigma(const Side& side, NodeId v) const {
+    return side.epoch[v] == epoch_ ? side.sigma[v] : 0.0;
+  }
+  /// Expand one BFS level of `side`. Returns false if the frontier died.
+  bool ExpandLevel(Side* side, uint32_t comp);
+  /// Frontier arc mass, used to pick the cheaper side to expand.
+  uint64_t FrontierCost(const Side& side) const;
+  /// Append the walk from `v` down to the side's origin (exclusive of v),
+  /// choosing predecessors proportionally to σ.
+  void WalkDown(const Side& side, NodeId v, uint32_t comp, Rng* rng,
+                std::vector<NodeId>* out);
+
+  bool SampleBidirectional(NodeId s, NodeId t, uint32_t comp, Rng* rng,
+                           PathSample* out);
+  bool SampleUnidirectional(NodeId s, NodeId t, uint32_t comp, Rng* rng,
+                            PathSample* out);
+
+  const Graph& g_;
+  const std::vector<uint32_t>* arc_component_;
+  Side fwd_, bwd_;
+  uint64_t epoch_ = 0;
+  uint64_t arcs_scanned_ = 0;
+  std::vector<NodeId> meet_;  // middle candidates of the current sample
+
+  static constexpr uint32_t kNoDist = static_cast<uint32_t>(-1);
+};
+
+
+
+inline SeedPathSampler::SeedPathSampler(
+    const Graph& g, const std::vector<uint32_t>* arc_component)
+    : g_(g), arc_component_(arc_component) {
+  for (Side* side : {&fwd_, &bwd_}) {
+    side->dist.assign(g.num_nodes(), kNoDist);
+    side->sigma.assign(g.num_nodes(), 0.0);
+    side->epoch.assign(g.num_nodes(), 0);
+  }
+}
+
+inline void SeedPathSampler::InitSide(Side* side, NodeId origin) {
+  side->frontier.clear();
+  side->next.clear();
+  side->depth = 0;
+  side->epoch[origin] = epoch_;
+  side->dist[origin] = 0;
+  side->sigma[origin] = 1.0;
+  side->frontier.push_back(origin);
+}
+
+inline bool SeedPathSampler::ExpandLevel(Side* side, uint32_t comp) {
+  side->next.clear();
+  const uint32_t new_depth = side->depth + 1;
+  for (NodeId u : side->frontier) {
+    const EdgeIndex base = g_.offset(u);
+    const auto nbr = g_.neighbors(u);
+    const double su = side->sigma[u];
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      ++arcs_scanned_;
+      if (!ArcAllowed(base + i, comp)) continue;
+      NodeId v = nbr[i];
+      if (side->epoch[v] != epoch_) {
+        side->epoch[v] = epoch_;
+        side->dist[v] = new_depth;
+        side->sigma[v] = 0.0;
+        side->next.push_back(v);
+      }
+      if (side->dist[v] == new_depth) side->sigma[v] += su;
+    }
+  }
+  side->frontier.swap(side->next);
+  side->depth = new_depth;
+  return !side->frontier.empty();
+}
+
+inline uint64_t SeedPathSampler::FrontierCost(const Side& side) const {
+  uint64_t cost = 0;
+  for (NodeId u : side.frontier) cost += g_.degree(u);
+  return cost;
+}
+
+inline void SeedPathSampler::WalkDown(const Side& side, NodeId v, uint32_t comp,
+                           Rng* rng, std::vector<NodeId>* out) {
+  NodeId cur = v;
+  while (side.dist[cur] > 0) {
+    const uint32_t want = side.dist[cur] - 1;
+    const EdgeIndex base = g_.offset(cur);
+    const auto nbr = g_.neighbors(cur);
+    // Weighted reservoir over predecessors: pick u with prob σ(u)/Σσ.
+    double total = 0.0;
+    NodeId pick = kInvalidNode;
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      if (!ArcAllowed(base + i, comp)) continue;
+      NodeId u = nbr[i];
+      if (side.epoch[u] != epoch_ || side.dist[u] != want) continue;
+      total += side.sigma[u];
+      if (rng->UniformDouble() * total < side.sigma[u]) pick = u;
+    }
+    SAPHYRA_CHECK(pick != kInvalidNode);
+    out->push_back(pick);
+    cur = pick;
+  }
+}
+
+inline bool SeedPathSampler::SampleUniformPath(NodeId s, NodeId t, uint32_t comp,
+                                    SamplingStrategy strategy, Rng* rng,
+                                    PathSample* out) {
+  SAPHYRA_CHECK(s != t);
+  SAPHYRA_CHECK(s < g_.num_nodes() && t < g_.num_nodes());
+  ++epoch_;
+  arcs_scanned_ = 0;
+  out->nodes.clear();
+  out->num_paths = 0.0;
+  out->length = 0;
+  out->found = false;
+  if (strategy == SamplingStrategy::kBidirectional) {
+    return SampleBidirectional(s, t, comp, rng, out);
+  }
+  return SampleUnidirectional(s, t, comp, rng, out);
+}
+
+inline bool SeedPathSampler::SampleBidirectional(NodeId s, NodeId t, uint32_t comp,
+                                      Rng* rng, PathSample* out) {
+  InitSide(&fwd_, s);
+  InitSide(&bwd_, t);
+  // Grow the cheaper side one full level at a time. After each expansion,
+  // any node of the new frontier already seen by the other side is a
+  // "middle": completed BFS levels make both σ values final, and all
+  // middles found in the same round sit on minimum-length paths (see the
+  // meeting argument in DESIGN.md / KADABRA [12]).
+  for (;;) {
+    Side* grow = FrontierCost(fwd_) <= FrontierCost(bwd_) ? &fwd_ : &bwd_;
+    const Side& other = (grow == &fwd_) ? bwd_ : fwd_;
+    if (!ExpandLevel(grow, comp)) return false;  // t unreachable from s
+    meet_.clear();
+    for (NodeId v : grow->frontier) {
+      if (other.epoch[v] == epoch_) meet_.push_back(v);
+    }
+    if (!meet_.empty()) break;
+  }
+  const uint32_t d = fwd_.depth + bwd_.depth;
+  // σ_st and middle selection, weighted by σ_s(v)·σ_t(v).
+  double sigma_st = 0.0;
+  NodeId middle = kInvalidNode;
+  for (NodeId v : meet_) {
+    double w = fwd_.sigma[v] * bwd_.sigma[v];
+    sigma_st += w;
+    if (rng->UniformDouble() * sigma_st < w) middle = v;
+  }
+  SAPHYRA_CHECK(middle != kInvalidNode);
+
+  // Assemble s .. middle .. t.
+  std::vector<NodeId> to_s;
+  WalkDown(fwd_, middle, comp, rng, &to_s);
+  out->nodes.assign(to_s.rbegin(), to_s.rend());
+  out->nodes.push_back(middle);
+  WalkDown(bwd_, middle, comp, rng, &out->nodes);
+  SAPHYRA_CHECK(out->nodes.front() == s && out->nodes.back() == t);
+  out->num_paths = sigma_st;
+  out->length = d;
+  out->found = true;
+  return true;
+}
+
+inline bool SeedPathSampler::SampleUnidirectional(NodeId s, NodeId t, uint32_t comp,
+                                       Rng* rng, PathSample* out) {
+  InitSide(&fwd_, s);
+  // Expand until the level containing t completes (so σ(t) is final).
+  bool reached = false;
+  for (;;) {
+    if (!ExpandLevel(&fwd_, comp)) break;
+    if (fwd_.epoch[t] == epoch_ && fwd_.dist[t] == fwd_.depth) {
+      reached = true;
+      break;
+    }
+    if (fwd_.epoch[t] == epoch_ && fwd_.dist[t] < fwd_.depth) {
+      reached = true;  // already finalized on an earlier level
+      break;
+    }
+  }
+  if (!reached) return false;
+  std::vector<NodeId> to_s;
+  WalkDown(fwd_, t, comp, rng, &to_s);
+  out->nodes.assign(to_s.rbegin(), to_s.rend());
+  out->nodes.push_back(t);
+  SAPHYRA_CHECK(out->nodes.front() == s && out->nodes.back() == t);
+  out->num_paths = fwd_.sigma[t];
+  out->length = fwd_.dist[t];
+  out->found = true;
+  return true;
+}
+
+
+}  // namespace bench
+}  // namespace saphyra
+
+#endif  // SAPHYRA_BENCH_SEED_PATH_SAMPLER_H_

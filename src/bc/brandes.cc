@@ -1,6 +1,8 @@
 #include "bc/brandes.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 
 #include "graph/bfs.h"
 #include "util/logging.h"
@@ -71,7 +73,11 @@ std::vector<double> BrandesBetweenness(const Graph& g) {
 std::vector<double> ParallelBrandesBetweenness(const Graph& g,
                                                size_t num_threads) {
   const NodeId n = g.num_nodes();
-  ThreadPool pool(num_threads);
+  // Default runs source-parallelize over the persistent process-wide pool;
+  // an explicit thread count gets a dedicated pool of that size.
+  std::optional<ThreadPool> local_pool;
+  if (num_threads != 0) local_pool.emplace(num_threads);
+  ThreadPool& pool = local_pool ? *local_pool : SharedThreadPool();
   const size_t workers = pool.num_threads();
   // One task per worker; each owns its scratch buffers and a private
   // accumulator, claiming sources from a shared cursor. Reduced at the end.

@@ -19,7 +19,12 @@ std::vector<double> BrandesBetweenness(const Graph& g);
 
 /// \brief Multithreaded Brandes: per-source dependency accumulations are
 /// independent and summed per thread, then reduced. `num_threads = 0`
-/// selects the hardware concurrency.
+/// runs on the persistent SharedThreadPool; a nonzero count gets a
+/// dedicated pool of that size.
+///
+/// Do not call with num_threads = 0 from code already executing on the
+/// shared pool (e.g. inside a SampleEngine worker): nested Submit/Wait on
+/// the same pool deadlocks. Pass an explicit thread count there.
 std::vector<double> ParallelBrandesBetweenness(const Graph& g,
                                                size_t num_threads = 0);
 

@@ -6,73 +6,199 @@
 
 namespace saphyra {
 
+namespace {
+
+// Adjacency adapters the traversal core is templated over. Each exposes
+//   ForEachScanned(u, f) — visit the allowed neighbors of u, charging every
+//                          arc scanned (allowed or not) to *scanned,
+//   ForEach(u, f)        — the same visit without cost accounting (the
+//                          backward walks are not part of the scan metric),
+//   Cost(u)              — arc mass for the frontier-balancing heuristic.
+// The restriction test is resolved at compile time: the component-view
+// adapter has none, the filtered adapter keeps the per-arc label compare.
+
+struct GlobalAdj {
+  const Graph* g;
+  std::span<const NodeId> ArcsOf(NodeId u) const { return g->neighbors(u); }
+  void PrefetchNode(NodeId u) const {
+    __builtin_prefetch(g->neighbors(u).data(), 0, 2);
+  }
+  template <class F>
+  void ForEach(NodeId u, F&& f) const {
+    for (NodeId v : g->neighbors(u)) f(v);
+  }
+  uint64_t Cost(NodeId u) const { return g->degree(u); }
+};
+
+struct FilteredAdj {
+  const Graph* g;
+  const std::vector<uint32_t>* arc_component;
+  uint32_t comp;
+  template <class F>
+  void ForEachScanned(NodeId u, uint64_t* scanned, F&& f) const {
+    const EdgeIndex base = g->offset(u);
+    const auto nbr = g->neighbors(u);
+    *scanned += nbr.size();
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      if ((*arc_component)[base + i] == comp) f(nbr[i]);
+    }
+  }
+  template <class F>
+  void ForEach(NodeId u, F&& f) const {
+    const EdgeIndex base = g->offset(u);
+    const auto nbr = g->neighbors(u);
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      if ((*arc_component)[base + i] == comp) f(nbr[i]);
+    }
+  }
+  uint64_t Cost(NodeId u) const { return g->degree(u); }
+};
+
+struct ViewAdj {
+  const ComponentViews* views;
+  uint32_t comp;
+  std::span<const NodeId> ArcsOf(NodeId u) const {
+    return views->Neighbors(comp, u);
+  }
+  void PrefetchNode(NodeId u) const { views->PrefetchOffsets(comp, u); }
+  template <class F>
+  void ForEach(NodeId u, F&& f) const {
+    for (NodeId v : views->Neighbors(comp, u)) f(v);
+  }
+  uint64_t Cost(NodeId u) const { return views->Degree(comp, u); }
+};
+
+}  // namespace
+
 PathSampler::PathSampler(const Graph& g,
                          const std::vector<uint32_t>* arc_component)
     : g_(g), arc_component_(arc_component) {
   for (Side* side : {&fwd_, &bwd_}) {
-    side->dist.assign(g.num_nodes(), kNoDist);
-    side->sigma.assign(g.num_nodes(), 0.0);
-    side->epoch.assign(g.num_nodes(), 0);
+    side->state.assign(g.num_nodes(), NodeState{0, kNoDist, 0.0});
+    side->frontier.resize(g.num_nodes() + 1);
+    side->next.resize(g.num_nodes() + 1);
   }
 }
 
-void PathSampler::InitSide(Side* side, NodeId origin) {
-  side->frontier.clear();
-  side->next.clear();
-  side->depth = 0;
-  side->epoch[origin] = epoch_;
-  side->dist[origin] = 0;
-  side->sigma[origin] = 1.0;
-  side->frontier.push_back(origin);
+PathSampler::PathSampler(const Graph& g, const ComponentViews& views)
+    : g_(g), views_(&views) {
+  // Local ids never exceed global ones, so n-sized scratch covers both the
+  // unrestricted global path and every component view; restricted samples
+  // only ever touch the first |C| entries of the state array.
+  for (Side* side : {&fwd_, &bwd_}) {
+    side->state.assign(g.num_nodes(), NodeState{0, kNoDist, 0.0});
+    side->frontier.resize(g.num_nodes() + 1);
+    side->next.resize(g.num_nodes() + 1);
+  }
 }
 
-bool PathSampler::ExpandLevel(Side* side, uint32_t comp) {
-  side->next.clear();
+void PathSampler::InitSide(Side* side, NodeId origin, uint64_t origin_cost) {
+  side->depth = 0;
+  side->state[origin] = NodeState{epoch_, 0, 1.0};
+  side->frontier[0] = origin;
+  side->frontier_size = 1;
+  side->frontier_cost = origin_cost;
+}
+
+template <class Adj>
+bool PathSampler::ExpandLevel(const Adj& adj, Side* side, const Side* other) {
   const uint32_t new_depth = side->depth + 1;
-  for (NodeId u : side->frontier) {
-    const EdgeIndex base = g_.offset(u);
-    const auto nbr = g_.neighbors(u);
-    const double su = side->sigma[u];
-    for (size_t i = 0; i < nbr.size(); ++i) {
-      ++arcs_scanned_;
-      if (!ArcAllowed(base + i, comp)) continue;
-      NodeId v = nbr[i];
-      if (side->epoch[v] != epoch_) {
-        side->epoch[v] = epoch_;
-        side->dist[v] = new_depth;
-        side->sigma[v] = 0.0;
-        side->next.push_back(v);
+  NodeId* next = side->next.data();
+  size_t cnt = 0;
+  double su = 0.0;  // σ of the frontier node being expanded
+  auto visit = [&](NodeId v) {
+    NodeState& sv = side->state[v];
+    if (sv.epoch != epoch_) {
+      // First touch this epoch: v joins the new level with σ = σ(u).
+      sv = NodeState{epoch_, new_depth, su};
+      next[cnt++] = v;
+      // Bidirectional meeting test, folded into discovery: one random load
+      // per *new* node beats a separate post-expansion pass over the
+      // frontier.
+      if (other != nullptr && other->state[v].epoch == epoch_) {
+        meet_.push_back(v);
       }
-      if (side->dist[v] == new_depth) side->sigma[v] += su;
+    } else {
+      // Already stamped: add σ(u) iff v sits on the level being built.
+      // Selected, not branched — level membership is a coin flip here.
+      sv.sigma += sv.dist == new_depth ? su : 0.0;
+    }
+  };
+  for (size_t fi = 0; fi < side->frontier_size; ++fi) {
+    const NodeId u = side->frontier[fi];
+    if constexpr (requires { adj.PrefetchNode(u); }) {
+      if (fi + 2 < side->frontier_size) {
+        adj.PrefetchNode(side->frontier[fi + 2]);
+      }
+    }
+    su = side->state[u].sigma;
+    if constexpr (requires { adj.ArcsOf(u); }) {
+      // Span-capable substrates (component view, unrestricted global CSR):
+      // prefetch the packed per-node state a few arcs ahead — the only
+      // non-sequential access of the loop. The loop is split so the steady
+      // state carries no bounds check for the prefetch slot.
+      const auto nbr = adj.ArcsOf(u);
+      arcs_scanned_ += nbr.size();
+      constexpr size_t kLookahead = 8;
+      const size_t n = nbr.size();
+      size_t i = 0;
+      if (n > kLookahead) {
+        for (; i + kLookahead < n; ++i) {
+          __builtin_prefetch(&side->state[nbr[i + kLookahead]], 1, 3);
+          visit(nbr[i]);
+        }
+      }
+      for (; i < n; ++i) visit(nbr[i]);
+    } else {
+      adj.ForEachScanned(u, &arcs_scanned_, visit);
     }
   }
   side->frontier.swap(side->next);
-  side->depth = new_depth;
-  return !side->frontier.empty();
-}
-
-uint64_t PathSampler::FrontierCost(const Side& side) const {
+  side->frontier_size = cnt;
+  // One tight pass over the new frontier (off the expansion's critical
+  // path); the seed rescanned *both* frontiers every balancing round. Only
+  // the bidirectional search balances on it, and once a meeting is found
+  // this was the final level, so the cost is dead either way.
   uint64_t cost = 0;
-  for (NodeId u : side.frontier) cost += g_.degree(u);
-  return cost;
+  if (other != nullptr && meet_.empty()) {
+    for (size_t i = 0; i < cnt; ++i) cost += adj.Cost(side->frontier[i]);
+  }
+  side->frontier_cost = cost;
+  side->depth = new_depth;
+  return cnt != 0;
 }
 
-void PathSampler::WalkDown(const Side& side, NodeId v, uint32_t comp,
+template <class Adj>
+void PathSampler::WalkDown(const Adj& adj, const Side& side, NodeId v,
                            Rng* rng, std::vector<NodeId>* out) {
   NodeId cur = v;
-  while (side.dist[cur] > 0) {
-    const uint32_t want = side.dist[cur] - 1;
-    const EdgeIndex base = g_.offset(cur);
-    const auto nbr = g_.neighbors(cur);
+  while (side.state[cur].dist > 0) {
+    const uint32_t want = side.state[cur].dist - 1;
     // Weighted reservoir over predecessors: pick u with prob σ(u)/Σσ.
     double total = 0.0;
     NodeId pick = kInvalidNode;
-    for (size_t i = 0; i < nbr.size(); ++i) {
-      if (!ArcAllowed(base + i, comp)) continue;
-      NodeId u = nbr[i];
-      if (side.epoch[u] != epoch_ || side.dist[u] != want) continue;
-      total += side.sigma[u];
-      if (rng->UniformDouble() * total < side.sigma[u]) pick = u;
+    auto consider = [&](NodeId u) {
+      const NodeState& su = side.state[u];
+      if (su.epoch != epoch_ || su.dist != want) return;
+      total += su.sigma;
+      if (rng->UniformDouble() * total < su.sigma) pick = u;
+    };
+    if constexpr (requires { adj.ArcsOf(cur); }) {
+      // Path nodes are biased toward high degree, so this scan is a real
+      // share of the per-sample cost; prefetch like ExpandLevel does.
+      const auto nbr = adj.ArcsOf(cur);
+      constexpr size_t kLookahead = 8;
+      const size_t n = nbr.size();
+      size_t i = 0;
+      if (n > kLookahead) {
+        for (; i + kLookahead < n; ++i) {
+          __builtin_prefetch(&side.state[nbr[i + kLookahead]], 0, 3);
+          consider(nbr[i]);
+        }
+      }
+      for (; i < n; ++i) consider(nbr[i]);
+    } else {
+      adj.ForEach(cur, consider);
     }
     SAPHYRA_CHECK(pick != kInvalidNode);
     out->push_back(pick);
@@ -85,35 +211,64 @@ bool PathSampler::SampleUniformPath(NodeId s, NodeId t, uint32_t comp,
                                     PathSample* out) {
   SAPHYRA_CHECK(s != t);
   SAPHYRA_CHECK(s < g_.num_nodes() && t < g_.num_nodes());
-  ++epoch_;
+  if (++epoch_ == 0) {
+    // 32-bit epoch wrapped: wipe the stamps once and restart at 1.
+    for (Side* side : {&fwd_, &bwd_}) {
+      std::fill(side->state.begin(), side->state.end(),
+                NodeState{0, kNoDist, 0.0});
+    }
+    epoch_ = 1;
+  }
   arcs_scanned_ = 0;
   out->nodes.clear();
   out->num_paths = 0.0;
   out->length = 0;
   out->found = false;
-  if (strategy == SamplingStrategy::kBidirectional) {
-    return SampleBidirectional(s, t, comp, rng, out);
+  if (comp == kInvalidComp) {
+    return Dispatch(GlobalAdj{&g_}, s, t, strategy, rng, out);
   }
-  return SampleUnidirectional(s, t, comp, rng, out);
+  if (views_ != nullptr) {
+    const NodeId ls = views_->ToLocal(comp, s);
+    const NodeId lt = views_->ToLocal(comp, t);
+    SAPHYRA_CHECK_MSG(ls != kInvalidNode && lt != kInvalidNode,
+                      "restricted endpoints must belong to the component");
+    if (!Dispatch(ViewAdj{views_, comp}, ls, lt, strategy, rng, out)) {
+      return false;
+    }
+    for (NodeId& v : out->nodes) v = views_->ToGlobal(comp, v);
+    return true;
+  }
+  SAPHYRA_CHECK_MSG(arc_component_ != nullptr,
+                    "component restriction needs arc labels or views");
+  return Dispatch(FilteredAdj{&g_, arc_component_, comp}, s, t, strategy, rng,
+                  out);
 }
 
-bool PathSampler::SampleBidirectional(NodeId s, NodeId t, uint32_t comp,
+template <class Adj>
+bool PathSampler::Dispatch(const Adj& adj, NodeId s, NodeId t,
+                           SamplingStrategy strategy, Rng* rng,
+                           PathSample* out) {
+  if (strategy == SamplingStrategy::kBidirectional) {
+    return SampleBidirectional(adj, s, t, rng, out);
+  }
+  return SampleUnidirectional(adj, s, t, rng, out);
+}
+
+template <class Adj>
+bool PathSampler::SampleBidirectional(const Adj& adj, NodeId s, NodeId t,
                                       Rng* rng, PathSample* out) {
-  InitSide(&fwd_, s);
-  InitSide(&bwd_, t);
+  InitSide(&fwd_, s, adj.Cost(s));
+  InitSide(&bwd_, t, adj.Cost(t));
   // Grow the cheaper side one full level at a time. After each expansion,
   // any node of the new frontier already seen by the other side is a
   // "middle": completed BFS levels make both σ values final, and all
   // middles found in the same round sit on minimum-length paths (see the
   // meeting argument in DESIGN.md / KADABRA [12]).
   for (;;) {
-    Side* grow = FrontierCost(fwd_) <= FrontierCost(bwd_) ? &fwd_ : &bwd_;
+    Side* grow = fwd_.frontier_cost <= bwd_.frontier_cost ? &fwd_ : &bwd_;
     const Side& other = (grow == &fwd_) ? bwd_ : fwd_;
-    if (!ExpandLevel(grow, comp)) return false;  // t unreachable from s
     meet_.clear();
-    for (NodeId v : grow->frontier) {
-      if (other.epoch[v] == epoch_) meet_.push_back(v);
-    }
+    if (!ExpandLevel(adj, grow, &other)) return false;  // t unreachable
     if (!meet_.empty()) break;
   }
   const uint32_t d = fwd_.depth + bwd_.depth;
@@ -121,18 +276,18 @@ bool PathSampler::SampleBidirectional(NodeId s, NodeId t, uint32_t comp,
   double sigma_st = 0.0;
   NodeId middle = kInvalidNode;
   for (NodeId v : meet_) {
-    double w = fwd_.sigma[v] * bwd_.sigma[v];
+    double w = fwd_.state[v].sigma * bwd_.state[v].sigma;
     sigma_st += w;
     if (rng->UniformDouble() * sigma_st < w) middle = v;
   }
   SAPHYRA_CHECK(middle != kInvalidNode);
 
   // Assemble s .. middle .. t.
-  std::vector<NodeId> to_s;
-  WalkDown(fwd_, middle, comp, rng, &to_s);
-  out->nodes.assign(to_s.rbegin(), to_s.rend());
+  walk_.clear();
+  WalkDown(adj, fwd_, middle, rng, &walk_);
+  out->nodes.assign(walk_.rbegin(), walk_.rend());
   out->nodes.push_back(middle);
-  WalkDown(bwd_, middle, comp, rng, &out->nodes);
+  WalkDown(adj, bwd_, middle, rng, &out->nodes);
   SAPHYRA_CHECK(out->nodes.front() == s && out->nodes.back() == t);
   out->num_paths = sigma_st;
   out->length = d;
@@ -140,30 +295,28 @@ bool PathSampler::SampleBidirectional(NodeId s, NodeId t, uint32_t comp,
   return true;
 }
 
-bool PathSampler::SampleUnidirectional(NodeId s, NodeId t, uint32_t comp,
+template <class Adj>
+bool PathSampler::SampleUnidirectional(const Adj& adj, NodeId s, NodeId t,
                                        Rng* rng, PathSample* out) {
-  InitSide(&fwd_, s);
+  InitSide(&fwd_, s, adj.Cost(s));
   // Expand until the level containing t completes (so σ(t) is final).
   bool reached = false;
   for (;;) {
-    if (!ExpandLevel(&fwd_, comp)) break;
-    if (fwd_.epoch[t] == epoch_ && fwd_.dist[t] == fwd_.depth) {
-      reached = true;
-      break;
-    }
-    if (fwd_.epoch[t] == epoch_ && fwd_.dist[t] < fwd_.depth) {
-      reached = true;  // already finalized on an earlier level
+    if (!ExpandLevel(adj, &fwd_, nullptr)) break;
+    const NodeState& st = fwd_.state[t];
+    if (st.epoch == epoch_ && st.dist <= fwd_.depth) {
+      reached = true;  // t's level completed (or finalized earlier)
       break;
     }
   }
   if (!reached) return false;
-  std::vector<NodeId> to_s;
-  WalkDown(fwd_, t, comp, rng, &to_s);
-  out->nodes.assign(to_s.rbegin(), to_s.rend());
+  walk_.clear();
+  WalkDown(adj, fwd_, t, rng, &walk_);
+  out->nodes.assign(walk_.rbegin(), walk_.rend());
   out->nodes.push_back(t);
   SAPHYRA_CHECK(out->nodes.front() == s && out->nodes.back() == t);
-  out->num_paths = fwd_.sigma[t];
-  out->length = fwd_.dist[t];
+  out->num_paths = fwd_.state[t].sigma;
+  out->length = fwd_.state[t].dist;
   out->found = true;
   return true;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bicomp/biconnected.h"
+#include "bicomp/component_view.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
@@ -42,21 +43,40 @@ enum class SamplingStrategy {
 /// probability σ_s(v)·σ_t(v)/σ_st, and the two halves are completed by
 /// backward walks choosing each predecessor proportionally to its σ.
 ///
+/// Component-restricted samples run on one of two substrates:
+///   * the **component-view fast path** (construct with a ComponentViews):
+///     the BFS walks the component's own compact CSR in local ids, scanning
+///     pure adjacency with no per-arc filtering, and translates back to
+///     global ids only when emitting the path;
+///   * the **filtered legacy path** (construct with an arc_component
+///     labeling): the BFS walks the global CSR and tests every arc's label.
+///     Kept as the ablation baseline and for callers without an IspIndex.
+/// Both draw from the identical path distribution (verified against exact
+/// enumeration in the tests). Note the fast path balances its bidirectional
+/// frontiers by component-local degree — a sharper cost estimate than the
+/// legacy mode's global degree — so the two modes may consume their RNG
+/// streams differently while sampling the same law.
+///
 /// All scratch memory is owned by the sampler and reset in O(touched) via
 /// epoch counters, so one instance can serve millions of samples with no
 /// allocation in the steady state. Instances are not thread-safe; create
 /// one per thread.
 class PathSampler {
  public:
-  /// \brief `arc_component` may be null (no restriction support needed) or
-  /// point at BiconnectedComponents::arc_component with one label per arc.
+  /// \brief Legacy filtered mode. `arc_component` may be null (no
+  /// restriction support needed) or point at
+  /// BiconnectedComponents::arc_component with one label per arc.
   PathSampler(const Graph& g, const std::vector<uint32_t>* arc_component);
+
+  /// \brief Component-view fast path: restricted samples traverse
+  /// `views`' compact per-component CSR. `views` must outlive the sampler.
+  PathSampler(const Graph& g, const ComponentViews& views);
 
   /// \brief Sample a uniform shortest path from s to t (s != t).
   ///
-  /// If `comp != kInvalidComp`, only arcs labeled `comp` are traversed;
-  /// s and t must then be members of that component. Returns false (and
-  /// found=false) if t is unreachable.
+  /// If `comp != kInvalidComp`, only arcs of component `comp` are
+  /// traversed; s and t must then be members of that component. Returns
+  /// false (and found=false) if t is unreachable.
   bool SampleUniformPath(NodeId s, NodeId t, uint32_t comp,
                          SamplingStrategy strategy, Rng* rng,
                          PathSample* out);
@@ -65,45 +85,60 @@ class PathSampler {
   uint64_t last_arcs_scanned() const { return arcs_scanned_; }
 
  private:
+  /// Per-node BFS state, packed so one cache-line touch per visited node
+  /// replaces the three separate epoch/dist/sigma array loads (the dominant
+  /// per-arc cost — the adjacency stream itself is sequential).
+  struct NodeState {
+    uint32_t epoch;
+    uint32_t dist;
+    double sigma;
+  };
   struct Side {
-    std::vector<uint32_t> dist;
-    std::vector<double> sigma;
-    std::vector<uint64_t> epoch;
+    std::vector<NodeState> state;
+    /// frontier/next are preallocated to n+1 entries and sized by
+    /// frontier_size: the branchless expansion stores its push candidate
+    /// unconditionally and bumps the count only on discovery, so the
+    /// buffers need one slot of slack past the component size.
     std::vector<NodeId> frontier;
     std::vector<NodeId> next;
+    size_t frontier_size = 0;
     uint32_t depth = 0;
+    /// Arc mass of `frontier`, refreshed once per expansion so the
+    /// bidirectional balance check never rescans a frontier.
+    uint64_t frontier_cost = 0;
   };
 
-  bool ArcAllowed(EdgeIndex arc, uint32_t comp) const {
-    return comp == kInvalidComp || (*arc_component_)[arc] == comp;
-  }
-  void InitSide(Side* side, NodeId origin);
-  uint32_t Dist(const Side& side, NodeId v) const {
-    return side.epoch[v] == epoch_ ? side.dist[v] : kNoDist;
-  }
-  double Sigma(const Side& side, NodeId v) const {
-    return side.epoch[v] == epoch_ ? side.sigma[v] : 0.0;
-  }
-  /// Expand one BFS level of `side`. Returns false if the frontier died.
-  bool ExpandLevel(Side* side, uint32_t comp);
-  /// Frontier arc mass, used to pick the cheaper side to expand.
-  uint64_t FrontierCost(const Side& side) const;
-  /// Append the walk from `v` down to the side's origin (exclusive of v),
-  /// choosing predecessors proportionally to σ.
-  void WalkDown(const Side& side, NodeId v, uint32_t comp, Rng* rng,
-                std::vector<NodeId>* out);
+  void InitSide(Side* side, NodeId origin, uint64_t origin_cost);
 
-  bool SampleBidirectional(NodeId s, NodeId t, uint32_t comp, Rng* rng,
+  /// The traversal core is templated over an adjacency adapter (global,
+  /// filtered, component-view) so the restriction test compiles away on the
+  /// fast path; see path_sampler.cc.
+  /// Expand one BFS level of `side`. When `other` is non-null (bidirectional
+  /// search), newly discovered nodes already stamped by `other` this epoch
+  /// are appended to meet_.
+  template <class Adj>
+  bool ExpandLevel(const Adj& adj, Side* side, const Side* other);
+  template <class Adj>
+  void WalkDown(const Adj& adj, const Side& side, NodeId v, Rng* rng,
+                std::vector<NodeId>* out);
+  template <class Adj>
+  bool SampleBidirectional(const Adj& adj, NodeId s, NodeId t, Rng* rng,
                            PathSample* out);
-  bool SampleUnidirectional(NodeId s, NodeId t, uint32_t comp, Rng* rng,
+  template <class Adj>
+  bool SampleUnidirectional(const Adj& adj, NodeId s, NodeId t, Rng* rng,
                             PathSample* out);
+  template <class Adj>
+  bool Dispatch(const Adj& adj, NodeId s, NodeId t,
+                SamplingStrategy strategy, Rng* rng, PathSample* out);
 
   const Graph& g_;
-  const std::vector<uint32_t>* arc_component_;
+  const std::vector<uint32_t>* arc_component_ = nullptr;
+  const ComponentViews* views_ = nullptr;
   Side fwd_, bwd_;
-  uint64_t epoch_ = 0;
+  uint32_t epoch_ = 0;
   uint64_t arcs_scanned_ = 0;
   std::vector<NodeId> meet_;  // middle candidates of the current sample
+  std::vector<NodeId> walk_;  // scratch of the s-side backward walk
 
   static constexpr uint32_t kNoDist = static_cast<uint32_t>(-1);
 };

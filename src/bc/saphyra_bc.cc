@@ -21,7 +21,9 @@ class SaphyraBcProblem : public HypothesisRankingProblem {
       : space_(space),
         options_(options),
         vc_bound_(vc_bound),
-        sampler_(space.isp().graph(), &space.isp().bcc().arc_component) {}
+        // Component-view fast path: Gen_bc's restricted BFS runs on the
+        // compact per-component CSR instead of filtering the global arcs.
+        sampler_(space.isp().graph(), space.isp().views()) {}
 
   size_t num_hypotheses() const override { return space_.targets().size(); }
 

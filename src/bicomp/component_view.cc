@@ -1,0 +1,87 @@
+#include "bicomp/component_view.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+namespace {
+
+/// Local id of `v` in the sorted member list `members`. The caller
+/// guarantees membership (every arc endpoint belongs to the arc's
+/// component).
+NodeId LocalIndex(std::span<const NodeId> members, NodeId v) {
+  auto it = std::lower_bound(members.begin(), members.end(), v);
+  SAPHYRA_CHECK(it != members.end() && *it == v);
+  return static_cast<NodeId>(it - members.begin());
+}
+
+}  // namespace
+
+ComponentViews::ComponentViews(const Graph& g,
+                               const BiconnectedComponents& bcc) {
+  const uint32_t num_comps = bcc.num_components;
+  node_begin_.assign(num_comps + 1, 0);
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    const size_t sz = bcc.component_nodes[c].size();
+    node_begin_[c + 1] = node_begin_[c] + sz;
+    max_size_ = std::max(max_size_, static_cast<NodeId>(sz));
+  }
+  const size_t total_nodes = node_begin_[num_comps];
+  nodes_.reserve(total_nodes);
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    nodes_.insert(nodes_.end(), bcc.component_nodes[c].begin(),
+                  bcc.component_nodes[c].end());
+  }
+
+  // Pass 1: per-local-node degrees, accumulated into offsets_[slot+1] so the
+  // prefix sum below turns them into absolute adjacency offsets.
+  offsets_.assign(total_nodes + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const EdgeIndex base = g.offset(u);
+    const NodeId deg = g.degree(u);
+    uint32_t last_c = kInvalidComp;
+    size_t last_slot = 0;
+    for (NodeId i = 0; i < deg; ++i) {
+      const uint32_t c = bcc.arc_component[base + i];
+      SAPHYRA_CHECK(c != kInvalidComp);
+      if (c != last_c) {
+        last_c = c;
+        last_slot = node_begin_[c] + LocalIndex(nodes(c), u);
+      }
+      ++offsets_[last_slot + 1];
+    }
+  }
+  for (size_t i = 1; i <= total_nodes; ++i) offsets_[i] += offsets_[i - 1];
+  SAPHYRA_CHECK(offsets_[total_nodes] == g.num_arcs());
+
+  // Pass 2: scatter each arc into its component slot. Scanning u ascending
+  // and its (sorted) global adjacency in order writes each local list sorted
+  // by global — hence by local — neighbor id.
+  adj_.assign(g.num_arcs(), 0);
+  std::vector<EdgeIndex> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const EdgeIndex base = g.offset(u);
+    const auto nbr = g.neighbors(u);
+    uint32_t last_c = kInvalidComp;
+    size_t last_slot = 0;
+    for (size_t i = 0; i < nbr.size(); ++i) {
+      const uint32_t c = bcc.arc_component[base + i];
+      if (c != last_c) {
+        last_c = c;
+        last_slot = node_begin_[c] + LocalIndex(nodes(c), u);
+      }
+      adj_[cursor[last_slot]++] = LocalIndex(nodes(c), nbr[i]);
+    }
+  }
+}
+
+NodeId ComponentViews::ToLocal(uint32_t c, NodeId global) const {
+  const auto members = nodes(c);
+  auto it = std::lower_bound(members.begin(), members.end(), global);
+  if (it == members.end() || *it != global) return kInvalidNode;
+  return static_cast<NodeId>(it - members.begin());
+}
+
+}  // namespace saphyra

@@ -10,7 +10,8 @@ IspIndex::IspIndex(const Graph& g)
     : g_(&g),
       bcc_(ComputeBiconnectedComponents(g)),
       conn_(ConnectedComponents(g)),
-      tree_(BlockCutTree::Build(g, bcc_, conn_)) {
+      tree_(BlockCutTree::Build(g, bcc_, conn_)),
+      views_(g, bcc_) {
   const double n = static_cast<double>(g.num_nodes());
   const double pair_norm = n * (n - 1.0);
   const uint32_t num_comps = bcc_.num_components;

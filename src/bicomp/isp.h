@@ -7,6 +7,7 @@
 
 #include "bicomp/biconnected.h"
 #include "bicomp/block_cut_tree.h"
+#include "bicomp/component_view.h"
 #include "graph/connectivity.h"
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -45,6 +46,10 @@ class IspIndex {
   const BiconnectedComponents& bcc() const { return bcc_; }
   const BlockCutTree& tree() const { return tree_; }
   const ComponentLabels& conn() const { return conn_; }
+
+  /// \brief Compact relabeled CSR of every biconnected component; the
+  /// filter-free substrate of the Gen_bc sampler's restricted BFS.
+  const ComponentViews& views() const { return views_; }
 
   /// \brief Number of biconnected components ℓ.
   uint32_t num_components() const { return bcc_.num_components; }
@@ -90,6 +95,7 @@ class IspIndex {
   BiconnectedComponents bcc_;
   ComponentLabels conn_;
   BlockCutTree tree_;
+  ComponentViews views_;
   double gamma_ = 0.0;
   double total_weight_ = 0.0;
   std::vector<double> comp_weight_;

@@ -1,0 +1,66 @@
+#include "core/sample_engine.h"
+
+#include "util/logging.h"
+
+namespace saphyra {
+
+SampleEngine::SampleEngine(HypothesisRankingProblem* problem,
+                           uint32_t num_workers, Rng* base_rng,
+                           ThreadPool* pool)
+    : pool_(pool) {
+  workers_.push_back(problem);
+  for (uint32_t i = 1; i < num_workers; ++i) {
+    auto clone = problem->CloneForSampling();
+    if (clone == nullptr) break;  // problem does not support cloning
+    clones_.push_back(std::move(clone));
+    workers_.push_back(clones_.back().get());
+  }
+  const size_t k = problem->num_hypotheses();
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    rngs_.push_back(base_rng->Split());
+    local_counts_.emplace_back(k, 0);
+  }
+}
+
+uint64_t SampleEngine::Draw(uint64_t current, uint64_t target,
+                            std::vector<uint64_t>* counts) {
+  SAPHYRA_CHECK(target >= current);
+  const uint64_t need = target - current;
+  if (need == 0) return target;
+  const size_t nw = workers_.size();
+  // Quotas are a pure function of (need, num_workers): worker w consumes a
+  // fixed slice of its own RNG stream no matter where or when it runs.
+  const uint64_t per = need / nw;
+  const uint64_t extra = need % nw;
+  auto quota_of = [per, extra](size_t w) {
+    return per + (w < extra ? 1 : 0);
+  };
+  if (nw == 1 || pool_ == nullptr) {
+    for (size_t w = 0; w < nw; ++w) RunWorker(w, quota_of(w));
+  } else {
+    pool_->ParallelFor(0, nw,
+                       [&](size_t w) { RunWorker(w, quota_of(w)); });
+  }
+  for (auto& local : local_counts_) {
+    for (size_t i = 0; i < counts->size(); ++i) {
+      (*counts)[i] += local[i];
+      local[i] = 0;
+    }
+  }
+  return target;
+}
+
+void SampleEngine::RunWorker(size_t w, uint64_t quota) {
+  std::vector<uint32_t> hits;
+  auto& local = local_counts_[w];
+  for (uint64_t j = 0; j < quota; ++j) {
+    hits.clear();
+    workers_[w]->SampleApproxLosses(&rngs_[w], &hits);
+    for (uint32_t i : hits) {
+      SAPHYRA_CHECK(i < local.size());
+      ++local[i];
+    }
+  }
+}
+
+}  // namespace saphyra

@@ -1,0 +1,63 @@
+#ifndef SAPHYRA_CORE_SAMPLE_ENGINE_H_
+#define SAPHYRA_CORE_SAMPLE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/saphyra.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace saphyra {
+
+/// \brief Draws batches of i.i.d. samples for the adaptive estimation loop,
+/// serially or across a persistent thread pool.
+///
+/// The engine decomposes work into `num_workers` *logical* workers. Worker 0
+/// is the caller's problem instance; additional workers are CloneForSampling
+/// copies, each with an independently split RNG stream. Every Draw splits
+/// its quota over the logical workers by a fixed rule (⌈need/W⌉ for the
+/// first `need mod W`, ⌊need/W⌋ for the rest), so which pool thread runs
+/// which worker — and how many pool threads exist — never affects the
+/// result:
+///
+///   **Determinism contract.** For a fixed (base_rng seed, num_workers),
+///   the merged counts are bitwise identical across runs, across pool
+///   sizes, and against inline execution (pool == nullptr). They do differ
+///   from a run with another num_workers, which partitions the streams
+///   differently.
+///
+/// Execution goes through the ThreadPool passed at construction (typically
+/// SharedThreadPool()) — the workers persist across the adaptive rounds
+/// instead of being spawned and joined per round. Per-worker hit counts are
+/// merged after every batch.
+class SampleEngine {
+ public:
+  /// \brief `pool` may be null to force inline execution on the caller's
+  /// thread; it must otherwise outlive the engine. Requests for more than
+  /// one worker degrade gracefully to fewer (or one) when the problem does
+  /// not support cloning.
+  SampleEngine(HypothesisRankingProblem* problem, uint32_t num_workers,
+               Rng* base_rng, ThreadPool* pool);
+
+  /// \brief Logical workers actually created.
+  size_t num_workers() const { return workers_.size(); }
+
+  /// \brief Draw `target - current` samples into *counts; returns `target`.
+  uint64_t Draw(uint64_t current, uint64_t target,
+                std::vector<uint64_t>* counts);
+
+ private:
+  void RunWorker(size_t w, uint64_t quota);
+
+  std::vector<HypothesisRankingProblem*> workers_;
+  std::vector<std::unique_ptr<HypothesisRankingProblem>> clones_;
+  std::vector<Rng> rngs_;
+  std::vector<std::vector<uint64_t>> local_counts_;
+  ThreadPool* pool_;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_CORE_SAMPLE_ENGINE_H_

@@ -2,87 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
+#include "core/sample_engine.h"
 #include "stats/delta_allocation.h"
 #include "stats/empirical_bernstein.h"
 #include "stats/vc.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace saphyra {
 
 namespace {
 
-/// Draws batches of i.i.d. samples, serially or across worker threads.
-///
-/// Worker 0 is the caller's problem instance; additional workers are
-/// CloneForSampling copies, each with an independently split RNG stream, so
-/// a run is deterministic for a fixed (seed, num_threads) pair. Per-worker
-/// hit counts are merged after every batch.
-class SampleEngine {
- public:
-  SampleEngine(HypothesisRankingProblem* problem, uint32_t num_threads,
-               Rng* base_rng) {
-    workers_.push_back(problem);
-    for (uint32_t i = 1; i < num_threads; ++i) {
-      auto clone = problem->CloneForSampling();
-      if (clone == nullptr) break;  // problem does not support cloning
-      clones_.push_back(std::move(clone));
-      workers_.push_back(clones_.back().get());
-    }
-    const size_t k = problem->num_hypotheses();
-    for (size_t w = 0; w < workers_.size(); ++w) {
-      rngs_.push_back(base_rng->Split());
-      local_counts_.emplace_back(k, 0);
-    }
-  }
-
-  /// Draw `target - current` samples into *counts; returns `target`.
-  uint64_t Draw(uint64_t current, uint64_t target,
-                std::vector<uint64_t>* counts) {
-    SAPHYRA_CHECK(target >= current);
-    const uint64_t need = target - current;
-    if (need == 0) return target;
-    if (workers_.size() == 1) {
-      RunWorker(0, need);
-    } else {
-      std::vector<std::thread> threads;
-      const uint64_t per = need / workers_.size();
-      const uint64_t extra = need % workers_.size();
-      for (size_t w = 0; w < workers_.size(); ++w) {
-        uint64_t quota = per + (w < extra ? 1 : 0);
-        threads.emplace_back([this, w, quota] { RunWorker(w, quota); });
-      }
-      for (auto& t : threads) t.join();
-    }
-    for (auto& local : local_counts_) {
-      for (size_t i = 0; i < counts->size(); ++i) {
-        (*counts)[i] += local[i];
-        local[i] = 0;
-      }
-    }
-    return target;
-  }
-
- private:
-  void RunWorker(size_t w, uint64_t quota) {
-    std::vector<uint32_t> hits;
-    auto& local = local_counts_[w];
-    for (uint64_t j = 0; j < quota; ++j) {
-      hits.clear();
-      workers_[w]->SampleApproxLosses(&rngs_[w], &hits);
-      for (uint32_t i : hits) {
-        SAPHYRA_CHECK(i < local.size());
-        ++local[i];
-      }
-    }
-  }
-
-  std::vector<HypothesisRankingProblem*> workers_;
-  std::vector<std::unique_ptr<HypothesisRankingProblem>> clones_;
-  std::vector<Rng> rngs_;
-  std::vector<std::vector<uint64_t>> local_counts_;
-};
+/// Multi-threaded runs execute on the persistent process-wide pool; serial
+/// runs bypass it entirely (SampleEngine runs inline on a null pool).
+ThreadPool* PoolFor(const SaphyraOptions& options) {
+  return options.num_threads > 1 ? &SharedThreadPool() : nullptr;
+}
 
 }  // namespace
 
@@ -135,7 +71,8 @@ SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
 
   // Pilot phase (§III-C): estimate variances on an independent stream and
   // allocate per-hypothesis failure probabilities (Eq. 13).
-  SampleEngine pilot_engine(problem, options.num_threads, &pilot_rng);
+  SampleEngine pilot_engine(problem, options.num_threads, &pilot_rng,
+                            PoolFor(options));
   std::vector<uint64_t> pilot_counts(k, 0);
   pilot_engine.Draw(0, n0, &pilot_counts);
   result.pilot_samples = n0;
@@ -150,7 +87,7 @@ SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
   // Main adaptive loop (lines 10-18): double N until every hypothesis meets
   // ε′ by the empirical Bernstein bound, or until the VC cap Nmax (at which
   // point Lemma 4 supplies the guarantee unconditionally).
-  SampleEngine engine(problem, options.num_threads, &rng);
+  SampleEngine engine(problem, options.num_threads, &rng, PoolFor(options));
   std::vector<uint64_t> counts(k, 0);
   uint64_t n = 0;
   uint64_t target = n0;
@@ -201,7 +138,7 @@ SaphyraResult RunDirectEstimation(HypothesisRankingProblem* problem,
                VcSampleBound(options.epsilon, options.delta,
                              problem->VcDimension(), options.vc_constant));
   std::vector<uint64_t> counts(k, 0);
-  SampleEngine engine(problem, options.num_threads, &rng);
+  SampleEngine engine(problem, options.num_threads, &rng, PoolFor(options));
   engine.Draw(0, n, &counts);
   result.samples_used = result.max_samples = n;
   result.rounds_used = 1;

@@ -71,9 +71,12 @@ struct SaphyraOptions {
   /// Lower bound on the initial sample size, so the adaptive loop has a
   /// meaningful variance estimate even when ε′ is huge.
   uint64_t min_initial_samples = 32;
-  /// Worker threads for sample generation (1 = serial). Parallel runs need
-  /// the problem to implement CloneForSampling; they are deterministic for
-  /// a fixed (seed, num_threads) pair but differ from the serial stream.
+  /// Logical sampling workers (1 = serial). Parallel runs need the problem
+  /// to implement CloneForSampling and execute on the persistent
+  /// SharedThreadPool (no threads are spawned per round); they are
+  /// bitwise-deterministic for a fixed (seed, num_threads) pair regardless
+  /// of the pool size, but differ from the serial stream (see
+  /// core/sample_engine.h).
   uint32_t num_threads = 1;
 };
 

@@ -7,7 +7,7 @@ namespace saphyra {
 BfsResult Bfs(const Graph& g, NodeId source) {
   BfsResult r;
   r.dist.assign(g.num_nodes(), kUnreachable);
-  r.order.reserve(64);
+  r.order.reserve(g.num_nodes());
   r.dist[source] = 0;
   r.order.push_back(source);
   for (size_t head = 0; head < r.order.size(); ++head) {
@@ -23,11 +23,16 @@ BfsResult Bfs(const Graph& g, NodeId source) {
   return r;
 }
 
-SpDag BfsWithCounts(const Graph& g, NodeId source,
-                    const std::function<bool(NodeId, NodeId)>* edge_filter) {
+namespace {
+
+/// Shared BFS/σ core, templated over the edge filter so the unfiltered
+/// instantiation carries no per-arc indirect call or null check at all.
+template <class Filter>
+SpDag BfsWithCountsImpl(const Graph& g, NodeId source, Filter allowed) {
   SpDag r;
   r.dist.assign(g.num_nodes(), kUnreachable);
   r.sigma.assign(g.num_nodes(), 0.0);
+  r.order.reserve(g.num_nodes());
   r.dist[source] = 0;
   r.sigma[source] = 1.0;
   r.order.push_back(source);
@@ -35,7 +40,7 @@ SpDag BfsWithCounts(const Graph& g, NodeId source,
     NodeId u = r.order[head];
     uint32_t du = r.dist[u];
     for (NodeId v : g.neighbors(u)) {
-      if (edge_filter != nullptr && !(*edge_filter)(u, v)) continue;
+      if (!allowed(u, v)) continue;
       if (r.dist[v] == kUnreachable) {
         r.dist[v] = du + 1;
         r.order.push_back(v);
@@ -46,6 +51,19 @@ SpDag BfsWithCounts(const Graph& g, NodeId source,
     }
   }
   return r;
+}
+
+}  // namespace
+
+SpDag BfsWithCounts(const Graph& g, NodeId source,
+                    const std::function<bool(NodeId, NodeId)>* edge_filter) {
+  if (edge_filter == nullptr) {
+    return BfsWithCountsImpl(g, source, [](NodeId, NodeId) { return true; });
+  }
+  return BfsWithCountsImpl(
+      g, source, [edge_filter](NodeId u, NodeId v) {
+        return (*edge_filter)(u, v);
+      });
 }
 
 uint32_t Eccentricity(const Graph& g, NodeId source) {

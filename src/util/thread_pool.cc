@@ -59,6 +59,11 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& SharedThreadPool() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& body,
                              size_t grain) {

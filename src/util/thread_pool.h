@@ -54,6 +54,17 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// \brief Process-wide persistent pool, sized to the hardware concurrency
+/// on first use and kept alive for the rest of the process.
+///
+/// The adaptive sampling loop and the Brandes ground-truth computation both
+/// need short bursts of parallelism many times per run; spawning and joining
+/// std::threads per burst costs more than the burst itself on small rounds.
+/// They share this pool instead. The pool is a pure executor: callers must
+/// not encode any state in *which* pool thread runs a task, and nested
+/// Submit/Wait from inside a pool task is not allowed (single-driver use).
+ThreadPool& SharedThreadPool();
+
 }  // namespace saphyra
 
 #endif  // SAPHYRA_UTIL_THREAD_POOL_H_

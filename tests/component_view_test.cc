@@ -1,0 +1,275 @@
+#include "bicomp/component_view.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bc/path_sampler.h"
+#include "bicomp/isp.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+/// Every structural invariant of a ComponentViews against the decomposition
+/// it was built from: member lists, relabeling bijection, per-node degrees,
+/// arc counts, and sortedness of local adjacency.
+void CheckViewsAgainstBcc(const Graph& g, const BiconnectedComponents& bcc,
+                          const ComponentViews& views) {
+  ASSERT_EQ(views.num_components(), bcc.num_components);
+  EdgeIndex total_arcs = 0;
+  NodeId max_size = 0;
+  for (uint32_t c = 0; c < bcc.num_components; ++c) {
+    const auto& members = bcc.component_nodes[c];
+    ASSERT_EQ(views.size(c), members.size());
+    max_size = std::max(max_size, static_cast<NodeId>(members.size()));
+    auto view_nodes = views.nodes(c);
+    for (size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(view_nodes[i], members[i]);
+      // Relabeling round-trips.
+      EXPECT_EQ(views.ToGlobal(c, static_cast<NodeId>(i)), members[i]);
+      EXPECT_EQ(views.ToLocal(c, members[i]), static_cast<NodeId>(i));
+    }
+    // Per-member adjacency matches the filtered enumeration of global arcs.
+    for (size_t i = 0; i < members.size(); ++i) {
+      const NodeId u = members[i];
+      std::vector<NodeId> expected;  // global ids of u's comp-c neighbors
+      const EdgeIndex base = g.offset(u);
+      const auto nbr = g.neighbors(u);
+      for (size_t j = 0; j < nbr.size(); ++j) {
+        if (bcc.arc_component[base + j] == c) expected.push_back(nbr[j]);
+      }
+      const auto local_nbr = views.Neighbors(c, static_cast<NodeId>(i));
+      ASSERT_EQ(views.Degree(c, static_cast<NodeId>(i)), expected.size());
+      ASSERT_EQ(local_nbr.size(), expected.size());
+      for (size_t j = 0; j < expected.size(); ++j) {
+        EXPECT_EQ(views.ToGlobal(c, local_nbr[j]), expected[j]);
+        if (j > 0) EXPECT_LT(local_nbr[j - 1], local_nbr[j]);  // sorted
+      }
+    }
+    // Arc count of the view equals the arcs labeled c.
+    EdgeIndex labeled = 0;
+    for (EdgeIndex e = 0; e < g.num_arcs(); ++e) {
+      if (bcc.arc_component[e] == c) ++labeled;
+    }
+    EXPECT_EQ(views.num_arcs(c), labeled);
+    total_arcs += views.num_arcs(c);
+  }
+  // Every arc belongs to exactly one component view.
+  EXPECT_EQ(total_arcs, g.num_arcs());
+  EXPECT_EQ(views.max_component_size(), max_size);
+}
+
+TEST(ComponentViews, PaperFig2Invariants) {
+  Graph g = PaperFig2Graph();
+  auto bcc = ComputeBiconnectedComponents(g);
+  ComponentViews views(g, bcc);
+  CheckViewsAgainstBcc(g, bcc, views);
+}
+
+TEST(ComponentViews, RandomGraphInvariants) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = RandomConnectedGraph(60, 0.05, seed);
+    auto bcc = ComputeBiconnectedComponents(g);
+    ComponentViews views(g, bcc);
+    CheckViewsAgainstBcc(g, bcc, views);
+  }
+}
+
+TEST(ComponentViews, LeafHeavyHubGraph) {
+  // A hub with many bridges: every bridge is its own 2-node view and the
+  // hub's local adjacency within a bridge has exactly one entry.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  for (NodeId leaf = 3; leaf < 40; ++leaf) b.AddEdge(0, leaf);
+  Graph g;
+  ASSERT_TRUE(b.Build(40, &g).ok());
+  auto bcc = ComputeBiconnectedComponents(g);
+  ComponentViews views(g, bcc);
+  CheckViewsAgainstBcc(g, bcc, views);
+  int bridges = 0;
+  for (uint32_t c = 0; c < views.num_components(); ++c) {
+    if (views.size(c) == 2) {
+      ++bridges;
+      EXPECT_EQ(views.num_arcs(c), 2u);
+      EXPECT_EQ(views.Degree(c, 0), 1u);
+      EXPECT_EQ(views.Degree(c, 1), 1u);
+    }
+  }
+  EXPECT_EQ(bridges, 37);
+}
+
+TEST(ComponentViews, ToLocalRejectsNonMembers) {
+  Graph g = PaperFig2Graph();
+  auto bcc = ComputeBiconnectedComponents(g);
+  ComponentViews views(g, bcc);
+  // Pentagon component {a,b,c,d,e} = {0..4}: f (5) is not a member.
+  uint32_t pent = bcc.arc_component[g.offset(0)];
+  EXPECT_EQ(views.ToLocal(pent, 5), kInvalidNode);
+  EXPECT_NE(views.ToLocal(pent, 0), kInvalidNode);
+}
+
+TEST(ComponentViews, BuiltInsideIspIndex) {
+  Graph g = RandomConnectedGraph(80, 0.04, 11);
+  IspIndex isp(g);
+  CheckViewsAgainstBcc(g, isp.bcc(), isp.views());
+}
+
+std::string PathKey(const std::vector<NodeId>& nodes) {
+  std::string key;
+  for (NodeId v : nodes) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  return key;
+}
+
+TEST(ComponentViewSampling, RestrictedPathsStayInComponent) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  PathSampler sampler(g, isp.views());
+  Rng rng(9);
+  PathSample path;
+  uint32_t pent = isp.bcc().arc_component[g.offset(0)];
+  std::set<NodeId> pent_nodes(isp.bcc().component_nodes[pent].begin(),
+                              isp.bcc().component_nodes[pent].end());
+  for (int i = 0; i < 2000; ++i) {
+    NodeId s = isp.bcc().component_nodes[pent][rng.UniformInt(5)];
+    NodeId t = isp.bcc().component_nodes[pent][rng.UniformInt(5)];
+    if (s == t) continue;
+    ASSERT_TRUE(sampler.SampleUniformPath(s, t, pent,
+                                          SamplingStrategy::kBidirectional,
+                                          &rng, &path));
+    EXPECT_EQ(path.nodes.front(), s);
+    EXPECT_EQ(path.nodes.back(), t);
+    for (NodeId v : path.nodes) ASSERT_TRUE(pent_nodes.count(v) > 0);
+    for (size_t j = 1; j < path.nodes.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(path.nodes[j - 1], path.nodes[j]));
+    }
+  }
+}
+
+/// The Fig. 2 distribution check: sampling through the component-view fast
+/// path must produce the same path frequencies as the legacy filtered
+/// sampler (both match the uniform-over-σ_st law).
+TEST(ComponentViewSampling, Fig2DistributionMatchesFilteredPath) {
+  Graph g = PaperFig2Graph();
+  IspIndex isp(g);
+  uint32_t pent = isp.bcc().arc_component[g.offset(0)];
+
+  PathSampler filtered(g, &isp.bcc().arc_component);
+  PathSampler view(g, isp.views());
+  constexpr int kDraws = 60000;
+  std::map<std::string, int> filtered_counts, view_counts;
+  PathSample path;
+  {
+    Rng rng(21);
+    for (int i = 0; i < kDraws; ++i) {
+      NodeId s = isp.bcc().component_nodes[pent][rng.UniformInt(5)];
+      NodeId t = isp.bcc().component_nodes[pent][rng.UniformInt(5)];
+      if (s == t) continue;
+      ASSERT_TRUE(filtered.SampleUniformPath(
+          s, t, pent, SamplingStrategy::kBidirectional, &rng, &path));
+      ++filtered_counts[PathKey(path.nodes)];
+    }
+  }
+  {
+    Rng rng(21);  // same endpoint stream
+    for (int i = 0; i < kDraws; ++i) {
+      NodeId s = isp.bcc().component_nodes[pent][rng.UniformInt(5)];
+      NodeId t = isp.bcc().component_nodes[pent][rng.UniformInt(5)];
+      if (s == t) continue;
+      ASSERT_TRUE(view.SampleUniformPath(
+          s, t, pent, SamplingStrategy::kBidirectional, &rng, &path));
+      ++view_counts[PathKey(path.nodes)];
+    }
+  }
+  // Same support...
+  ASSERT_EQ(filtered_counts.size(), view_counts.size());
+  for (auto& [key, n] : filtered_counts) {
+    ASSERT_TRUE(view_counts.count(key) > 0) << key;
+    // ...and matching frequencies (both estimate the same probability; the
+    // tolerance covers two independent empirical estimates).
+    double pf = n / static_cast<double>(kDraws);
+    double pv = view_counts[key] / static_cast<double>(kDraws);
+    EXPECT_NEAR(pf, pv, 0.012 + 4.0 * std::sqrt(pf / kDraws)) << key;
+  }
+}
+
+TEST(ComponentViewSampling, SigmaMatchesFilteredOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = RandomConnectedGraph(40, 0.08, seed + 100);
+    IspIndex isp(g);
+    PathSampler filtered(g, &isp.bcc().arc_component);
+    PathSampler view(g, isp.views());
+    Rng rng(seed);
+    PathSample pf, pv;
+    for (int i = 0; i < 200; ++i) {
+      uint32_t c = static_cast<uint32_t>(
+          rng.UniformInt(isp.bcc().num_components));
+      const auto& nodes = isp.bcc().component_nodes[c];
+      if (nodes.size() < 2) continue;
+      NodeId s = nodes[rng.UniformInt(nodes.size())];
+      NodeId t = nodes[rng.UniformInt(nodes.size())];
+      if (s == t) continue;
+      ASSERT_TRUE(filtered.SampleUniformPath(
+          s, t, c, SamplingStrategy::kBidirectional, &rng, &pf));
+      ASSERT_TRUE(view.SampleUniformPath(
+          s, t, c, SamplingStrategy::kBidirectional, &rng, &pv));
+      // σ_st and the shortest-path length are deterministic quantities:
+      // both substrates must agree exactly.
+      EXPECT_DOUBLE_EQ(pf.num_paths, pv.num_paths);
+      EXPECT_EQ(pf.length, pv.length);
+    }
+  }
+}
+
+TEST(ComponentViewSampling, UnidirectionalAgreesWithBidirectional) {
+  Graph g = RandomConnectedGraph(40, 0.08, 55);
+  IspIndex isp(g);
+  PathSampler sampler(g, isp.views());
+  Rng rng(56);
+  PathSample bi, uni;
+  for (int i = 0; i < 200; ++i) {
+    uint32_t c =
+        static_cast<uint32_t>(rng.UniformInt(isp.bcc().num_components));
+    const auto& nodes = isp.bcc().component_nodes[c];
+    if (nodes.size() < 2) continue;
+    NodeId s = nodes[rng.UniformInt(nodes.size())];
+    NodeId t = nodes[rng.UniformInt(nodes.size())];
+    if (s == t) continue;
+    ASSERT_TRUE(sampler.SampleUniformPath(
+        s, t, c, SamplingStrategy::kBidirectional, &rng, &bi));
+    ASSERT_TRUE(sampler.SampleUniformPath(
+        s, t, c, SamplingStrategy::kUnidirectional, &rng, &uni));
+    EXPECT_EQ(bi.length, uni.length);
+    EXPECT_DOUBLE_EQ(bi.num_paths, uni.num_paths);
+  }
+}
+
+TEST(ComponentViewSampling, UnrestrictedSamplingStillWorks) {
+  // A views-constructed sampler must still serve comp == kInvalidComp
+  // requests over the global graph.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto bcc = ComputeBiconnectedComponents(g);
+  ComponentViews views(g, bcc);
+  PathSampler sampler(g, views);
+  Rng rng(1);
+  PathSample path;
+  ASSERT_TRUE(sampler.SampleUniformPath(
+      0, 3, kInvalidComp, SamplingStrategy::kBidirectional, &rng, &path));
+  EXPECT_EQ(path.nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace saphyra

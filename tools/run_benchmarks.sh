@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build Release and run the micro-kernel benchmark suite.
+#
+# Outputs (in the current directory):
+#   BENCH_micro.json        — optimization speedup ratios (machine-readable;
+#                             path_sampling_speedup is the tracked metric)
+#   BENCH_micro_gbench.json — full Google-benchmark results
+#
+# Usage: tools/run_benchmarks.sh [extra gbench args...]
+# Env:   BUILD_DIR (default: build-release)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-release}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
+
+"$BUILD_DIR/bench_micro_kernels" \
+  --speedup_json=BENCH_micro.json \
+  --benchmark_out=BENCH_micro_gbench.json \
+  --benchmark_out_format=json \
+  "$@"
