@@ -3,7 +3,11 @@
 // KADABRA (path sampling, bidirectional BFS), on one laptop-scale network
 // with exact ground truth — a single-command miniature of Figs. 3, 4, 6.
 //
-//   $ ./examples/baseline_comparison [epsilon]
+//   $ ./examples/baseline_comparison [epsilon] [graph-file]
+//
+// The optional graph file (SNAP edge list or `.sgr` cache) replaces the
+// generated network; keep it laptop-scale — exact Brandes ground truth is
+// computed for the comparison.
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +16,7 @@
 #include "baselines/kadabra.h"
 #include "bc/brandes.h"
 #include "bc/saphyra_bc.h"
+#include "example_util.h"
 #include "graph/generators.h"
 #include "metrics/rank.h"
 #include "util/timer.h"
@@ -21,12 +26,19 @@ using namespace saphyra;
 int main(int argc, char** argv) {
   const double eps = argc > 1 ? std::atof(argv[1]) : 0.05;
   const double delta = 0.01;
-  Graph g = BarabasiAlbert(4000, 3, 99);
+  examples::ExampleGraph eg;
+  if (argc > 2) {
+    eg = examples::LoadExampleGraph(argv[2]);
+  } else {
+    eg.graph = BarabasiAlbert(4000, 3, 99);
+  }
+  const Graph& g = eg.graph;
   std::printf("network: %s, epsilon = %.3f, delta = %.2f\n",
               g.DebugString().c_str(), eps, delta);
 
   std::vector<double> truth = ParallelBrandesBetweenness(g);
-  IspIndex isp(g);
+  std::unique_ptr<IspIndex> isp_ptr = examples::MakeIsp(eg);
+  const IspIndex& isp = *isp_ptr;
 
   // The subset of interest: 100 random nodes.
   Rng rng(123);

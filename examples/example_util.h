@@ -1,0 +1,62 @@
+#ifndef SAPHYRA_EXAMPLES_EXAMPLE_UTIL_H_
+#define SAPHYRA_EXAMPLES_EXAMPLE_UTIL_H_
+
+// Shared glue for the examples: cache-aware graph loading with a generator
+// fallback. Every example that can run on a real corpus accepts a file
+// argument; loading goes through LoadGraphAuto (graph/binary_io.h), so a
+// fresh `<file>.sgr` produced by tools/graph_convert is picked up
+// automatically — including the precomputed decomposition, which MakeIsp
+// then adopts instead of re-running it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bicomp/isp.h"
+#include "graph/binary_io.h"
+
+namespace saphyra {
+namespace examples {
+
+/// A loaded (or generated) graph plus whatever preprocessing came with it.
+struct ExampleGraph {
+  Graph graph;
+  GraphCache cache;  // decomposition only; `graph` has been moved out of it
+  bool from_cache = false;
+};
+
+/// \brief Load `path` cache-aware, exiting with a message on failure.
+inline ExampleGraph LoadExampleGraph(const std::string& path,
+                                     const std::string& format = "auto") {
+  ExampleGraph eg;
+  LoadGraphOptions options;
+  options.format = format;
+  Status st = LoadGraphAuto(path, options, &eg.cache, &eg.from_cache);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  eg.graph = std::move(eg.cache.graph);
+  if (eg.from_cache) {
+    std::fprintf(stderr, "[%s: loaded from .sgr cache%s]\n", path.c_str(),
+                 eg.cache.has_decomposition ? " with decomposition" : "");
+  }
+  return eg;
+}
+
+/// \brief ISP index for an ExampleGraph: adopts the cached decomposition
+/// when one was loaded, computes it otherwise. Consumes eg.cache.
+inline std::unique_ptr<IspIndex> MakeIsp(ExampleGraph& eg) {
+  if (eg.cache.has_decomposition) {
+    return std::make_unique<IspIndex>(eg.graph, std::move(eg.cache));
+  }
+  return std::make_unique<IspIndex>(eg.graph);
+}
+
+}  // namespace examples
+}  // namespace saphyra
+
+#endif  // SAPHYRA_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,36 +1,51 @@
 // Quickstart: rank a handful of nodes of a small network by betweenness
 // centrality with SaPHyRa_bc.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [edge-list-or-.sgr-file]
 //
 // Walks through the whole public API surface in ~40 lines: build a graph,
 // build the (reusable) ISP index, pick targets, run the ranker, read the
-// estimates and diagnostics.
+// estimates and diagnostics. With a file argument, loading is cache-aware:
+// a fresh `<file>.sgr` (tools/graph_convert) is mmap'ed instead of parsing
+// the text, decomposition included.
 
 #include <cstdio>
 
 #include "bc/saphyra_bc.h"
+#include "example_util.h"
 #include "graph/generators.h"
 #include "metrics/rank.h"
 
 using namespace saphyra;
 
-int main() {
-  // 1. A graph. Generators, SNAP edge lists (graph/io.h) and the
-  //    GraphBuilder all produce the same immutable CSR Graph.
-  Graph g = BarabasiAlbert(/*n=*/2000, /*edges_per_node=*/3, /*seed=*/7);
+int main(int argc, char** argv) {
+  // 1. A graph. Generators, SNAP edge lists (graph/io.h), `.sgr` caches
+  //    (graph/binary_io.h) and the GraphBuilder all produce the same
+  //    immutable CSR Graph.
+  examples::ExampleGraph eg;
+  if (argc > 1) {
+    eg = examples::LoadExampleGraph(argv[1]);
+  } else {
+    eg.graph = BarabasiAlbert(/*n=*/2000, /*edges_per_node=*/3, /*seed=*/7);
+  }
+  const Graph& g = eg.graph;
   std::printf("network: %s\n", g.DebugString().c_str());
 
   // 2. The ISP index: biconnected decomposition, block-cut tree, out-reach
   //    sets, gamma and break-point centralities. Subset-independent — build
-  //    once, rank as many subsets as you like.
-  IspIndex isp(g);
+  //    once, rank as many subsets as you like (and persist with
+  //    graph_convert: a `.sgr` cache skips this step entirely).
+  std::unique_ptr<IspIndex> isp_ptr = examples::MakeIsp(eg);
+  const IspIndex& isp = *isp_ptr;
   std::printf("bi-components: %u, gamma = %.4f\n", isp.num_components(),
               isp.gamma());
 
-  // 3. Target nodes to rank (here: ten arbitrary ids).
-  std::vector<NodeId> targets = {3, 42, 99, 256, 512, 777, 1024, 1500, 1776,
-                                 1999};
+  // 3. Target nodes to rank (here: ten ids spread across the id range).
+  std::vector<NodeId> targets;
+  const NodeId stride = g.num_nodes() > 10 ? g.num_nodes() / 10 : 1;
+  for (NodeId i = 0; i < 10 && i * stride < g.num_nodes(); ++i) {
+    targets.push_back(i * stride);
+  }
 
   // 4. Run SaPHyRa_bc with an (epsilon, delta) guarantee.
   SaphyraBcOptions options;

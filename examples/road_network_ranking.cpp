@@ -2,55 +2,113 @@
 // miniature: rank all junctions of a geographic window (a "city") within a
 // much larger road network, without paying for the whole network.
 //
-//   $ ./examples/road_network_ranking
+//   $ ./examples/road_network_ranking [usa-road.gr [usa-road.co]]
 //
 // Road networks are the best case for bi-component sampling: thousands of
 // small biconnected components, many cutpoints (bridges, dead ends), and a
 // personalized sample space that shrinks to the components touching the
-// target area (eta << 1). Accepts DIMACS .gr/.co files via graph/io.h if
-// you have the real USA-road data.
+// target area (eta << 1). With a DIMACS .gr argument the real USA-road data
+// is used instead of the surrogate grid — loading is cache-aware, so a
+// fresh `<file>.sgr` (tools/graph_convert --format dimacs) skips both the
+// parse and the decomposition. The .co coordinate file scales the city
+// windows to the data's bounding box when given.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bc/saphyra_bc.h"
+#include "example_util.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "metrics/rank.h"
 #include "util/timer.h"
 
 using namespace saphyra;
 
-int main() {
-  RoadNetwork road = RoadGrid(/*width=*/140, /*height=*/120,
-                              /*keep_prob=*/0.82, /*seed=*/55);
+int main(int argc, char** argv) {
+  examples::ExampleGraph eg;
+  RoadNetwork road;
+  if (argc > 1) {
+    eg = examples::LoadExampleGraph(argv[1], /*format=*/"dimacs");
+    road.graph = std::move(eg.graph);
+    if (argc > 2) {
+      std::vector<float> coords;
+      Status st = LoadDimacsCoordinates(argv[2], &coords);
+      if (!st.ok()) {
+        std::fprintf(stderr, "failed to load coordinates: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      road.x.resize(road.graph.num_nodes(), 0.0f);
+      road.y.resize(road.graph.num_nodes(), 0.0f);
+      for (NodeId v = 0; v < road.graph.num_nodes(); ++v) {
+        if (2 * v + 1 < coords.size()) {
+          road.x[v] = coords[2 * v];
+          road.y[v] = coords[2 * v + 1];
+        }
+      }
+    } else {
+      // No coordinates: lay the ids on a line so the rectangle windows
+      // below degrade to contiguous id ranges.
+      road.x.resize(road.graph.num_nodes());
+      road.y.assign(road.graph.num_nodes(), 50.0f);
+      for (NodeId v = 0; v < road.graph.num_nodes(); ++v) {
+        road.x[v] = 100.0f * static_cast<float>(v) /
+                    static_cast<float>(road.graph.num_nodes());
+      }
+    }
+    eg.graph = Graph();  // the graph now lives in `road`
+  } else {
+    road = RoadGrid(/*width=*/140, /*height=*/120,
+                    /*keep_prob=*/0.82, /*seed=*/55);
+  }
   const Graph& g = road.graph;
+  if (g.num_nodes() < 2) {
+    std::fprintf(stderr, "road network too small to rank\n");
+    return 1;
+  }
   std::printf("road network: %s, diameter >= %u\n", g.DebugString().c_str(),
               TwoSweepDiameterLowerBound(g));
 
   Timer t;
-  IspIndex isp(g);
+  const bool cached_decomposition = eg.cache.has_decomposition;
+  std::unique_ptr<IspIndex> isp_ptr =
+      cached_decomposition
+          ? std::make_unique<IspIndex>(road.graph, std::move(eg.cache))
+          : std::make_unique<IspIndex>(road.graph);
+  const IspIndex& isp = *isp_ptr;
   uint64_t cutpoints = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     cutpoints += isp.bcc().is_cutpoint[v];
   }
   std::printf(
-      "ISP index: %u bi-components, %llu cutpoints, built in %s\n",
+      "ISP index: %u bi-components, %llu cutpoints, %s in %s\n",
       isp.num_components(), static_cast<unsigned long long>(cutpoints),
+      cached_decomposition ? "adopted from cache" : "built",
       FormatDuration(t.ElapsedSeconds()).c_str());
 
-  // Three nested "cities" of decreasing size.
+  // Three nested "cities" of decreasing size, as fractions of the
+  // coordinate bounding box (so they work for the surrogate grid and for
+  // real DIMACS coordinates alike).
+  const float min_x = *std::min_element(road.x.begin(), road.x.end());
+  const float max_x = *std::max_element(road.x.begin(), road.x.end());
+  const float min_y = *std::min_element(road.y.begin(), road.y.end());
+  const float max_y = *std::max_element(road.y.begin(), road.y.end());
   struct City {
     const char* name;
-    float x0, y0, x1, y1;
+    float x0, y0, x1, y1;  // fractions of the bounding box
   };
   const City cities[] = {
-      {"metro area", 10, 10, 80, 70},
-      {"city", 25, 20, 60, 50},
-      {"downtown", 35, 30, 50, 42},
+      {"metro area", 0.07f, 0.08f, 0.57f, 0.58f},
+      {"city", 0.18f, 0.17f, 0.43f, 0.42f},
+      {"downtown", 0.25f, 0.25f, 0.36f, 0.35f},
   };
 
   for (const City& c : cities) {
-    auto targets = NodesInRectangle(road, c.x0, c.y0, c.x1, c.y1);
+    auto targets = NodesInRectangle(
+        road, min_x + c.x0 * (max_x - min_x), min_y + c.y0 * (max_y - min_y),
+        min_x + c.x1 * (max_x - min_x), min_y + c.y1 * (max_y - min_y));
     if (targets.size() < 2) continue;
     SaphyraBcOptions options;
     options.epsilon = 0.02;

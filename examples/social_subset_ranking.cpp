@@ -4,33 +4,59 @@
 // whole network, and most of them sit in the long, low-centrality tail
 // where approximate rankings are noisy.
 //
-//   $ ./examples/social_subset_ranking [n] [subset_size]
+//   $ ./examples/social_subset_ranking [n | graph-file] [subset_size]
 //
-// Generates a heavy-tailed social graph, picks a random subset, ranks it
-// with SaPHyRa_bc, and (on this laptop-scale instance) validates the
+// Generates a heavy-tailed social graph (or loads one: a numeric first
+// argument is a node count, anything else a SNAP edge list or `.sgr` cache,
+// loaded cache-aware via graph/binary_io.h), picks a random subset, ranks
+// it with SaPHyRa_bc, and (on this laptop-scale instance) validates the
 // ranking against exact Brandes ground truth.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bc/brandes.h"
 #include "bc/saphyra_bc.h"
+#include "example_util.h"
 #include "graph/generators.h"
 #include "metrics/rank.h"
 #include "util/timer.h"
 
 using namespace saphyra;
 
+namespace {
+
+bool IsNumber(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s != '\0'; ++s) {
+    if (!std::isdigit(static_cast<unsigned char>(*s))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 5000;
   const size_t subset_size = argc > 2 ? std::atoi(argv[2]) : 50;
 
-  Graph g = BarabasiAlbert(n, 4, 2026);
+  examples::ExampleGraph eg;
+  if (argc > 1 && !IsNumber(argv[1])) {
+    eg = examples::LoadExampleGraph(argv[1]);
+  } else {
+    const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 5000;
+    eg.graph = BarabasiAlbert(n, 4, 2026);
+  }
+  const Graph& g = eg.graph;
+  const NodeId n = g.num_nodes();
   std::printf("social network: %s\n", g.DebugString().c_str());
 
   Timer t;
-  IspIndex isp(g);
-  std::printf("ISP index built in %s\n",
+  const bool cached_decomposition = eg.cache.has_decomposition;
+  std::unique_ptr<IspIndex> isp_ptr = examples::MakeIsp(eg);
+  const IspIndex& isp = *isp_ptr;
+  std::printf("ISP index %s in %s\n",
+              cached_decomposition ? "adopted from cache" : "built",
               FormatDuration(t.ElapsedSeconds()).c_str());
 
   // A random "search result" subset.

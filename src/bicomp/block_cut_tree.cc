@@ -123,4 +123,18 @@ BlockCutTree BlockCutTree::Build(const Graph& g,
   return t;
 }
 
+BlockCutTree BlockCutTree::FromParts(
+    const BiconnectedComponents& bcc, const ComponentLabels& conn,
+    std::vector<uint64_t> conn_size_of_comp,
+    const std::vector<std::pair<uint64_t, uint64_t>>& cut_reach) {
+  BlockCutTree t;
+  t.is_cutpoint_ = &bcc.is_cutpoint;
+  t.conn_ = &conn;
+  t.conn_sizes_.assign(conn.size.begin(), conn.size.end());
+  t.conn_size_of_comp_ = std::move(conn_size_of_comp);
+  t.cut_reach_.reserve(cut_reach.size());
+  for (const auto& [key, reach] : cut_reach) t.cut_reach_.emplace(key, reach);
+  return t;
+}
+
 }  // namespace saphyra

@@ -56,6 +56,37 @@ class BlockCutTree {
     return conn_sizes_[conn_->component[v]];
   }
 
+  /// \brief Re-point the internal references after the owning
+  /// BiconnectedComponents / ComponentLabels structs moved (the tree stores
+  /// addresses of their members). Used by the `.sgr` cache loader and by
+  /// IspIndex when it adopts a deserialized decomposition.
+  void Rebind(const BiconnectedComponents& bcc, const ComponentLabels& conn) {
+    is_cutpoint_ = &bcc.is_cutpoint;
+    conn_ = &conn;
+  }
+
+  /// \brief The cutpoint out-reach table, keyed by (comp << 32 | node)
+  /// (serialization access; see MakeKey).
+  const std::unordered_map<uint64_t, uint64_t>& cut_reach() const {
+    return cut_reach_;
+  }
+
+  /// \brief Per-biconnected-component connected-component sizes
+  /// (serialization access).
+  const std::vector<uint64_t>& conn_size_of_comp_table() const {
+    return conn_size_of_comp_;
+  }
+
+  /// \brief The cut_reach key of (comp, v), for (de)serialization.
+  static uint64_t MakeKey(uint32_t comp, NodeId v) { return Key(comp, v); }
+
+  /// \brief Reassemble a tree from persisted parts (deserialization). The
+  /// tree DP is *not* re-run; `cut_reach` pairs come from a prior Build.
+  static BlockCutTree FromParts(
+      const BiconnectedComponents& bcc, const ComponentLabels& conn,
+      std::vector<uint64_t> conn_size_of_comp,
+      const std::vector<std::pair<uint64_t, uint64_t>>& cut_reach);
+
  private:
   static uint64_t Key(uint32_t comp, NodeId v) {
     return (static_cast<uint64_t>(comp) << 32) | v;

@@ -22,22 +22,27 @@ NodeId LocalIndex(std::span<const NodeId> members, NodeId v) {
 ComponentViews::ComponentViews(const Graph& g,
                                const BiconnectedComponents& bcc) {
   const uint32_t num_comps = bcc.num_components;
-  node_begin_.assign(num_comps + 1, 0);
+  std::vector<uint64_t> node_begin(num_comps + 1, 0);
   for (uint32_t c = 0; c < num_comps; ++c) {
     const size_t sz = bcc.component_nodes[c].size();
-    node_begin_[c + 1] = node_begin_[c] + sz;
+    node_begin[c + 1] = node_begin[c] + sz;
     max_size_ = std::max(max_size_, static_cast<NodeId>(sz));
   }
-  const size_t total_nodes = node_begin_[num_comps];
-  nodes_.reserve(total_nodes);
+  const size_t total_nodes = node_begin[num_comps];
+  std::vector<NodeId> nodes;
+  nodes.reserve(total_nodes);
   for (uint32_t c = 0; c < num_comps; ++c) {
-    nodes_.insert(nodes_.end(), bcc.component_nodes[c].begin(),
-                  bcc.component_nodes[c].end());
+    nodes.insert(nodes.end(), bcc.component_nodes[c].begin(),
+                 bcc.component_nodes[c].end());
   }
+  auto members_of = [&](uint32_t c) {
+    return std::span<const NodeId>(nodes.data() + node_begin[c],
+                                   nodes.data() + node_begin[c + 1]);
+  };
 
-  // Pass 1: per-local-node degrees, accumulated into offsets_[slot+1] so the
+  // Pass 1: per-local-node degrees, accumulated into offsets[slot+1] so the
   // prefix sum below turns them into absolute adjacency offsets.
-  offsets_.assign(total_nodes + 1, 0);
+  std::vector<EdgeIndex> offsets(total_nodes + 1, 0);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     const EdgeIndex base = g.offset(u);
     const NodeId deg = g.degree(u);
@@ -48,19 +53,19 @@ ComponentViews::ComponentViews(const Graph& g,
       SAPHYRA_CHECK(c != kInvalidComp);
       if (c != last_c) {
         last_c = c;
-        last_slot = node_begin_[c] + LocalIndex(nodes(c), u);
+        last_slot = node_begin[c] + LocalIndex(members_of(c), u);
       }
-      ++offsets_[last_slot + 1];
+      ++offsets[last_slot + 1];
     }
   }
-  for (size_t i = 1; i <= total_nodes; ++i) offsets_[i] += offsets_[i - 1];
-  SAPHYRA_CHECK(offsets_[total_nodes] == g.num_arcs());
+  for (size_t i = 1; i <= total_nodes; ++i) offsets[i] += offsets[i - 1];
+  SAPHYRA_CHECK(offsets[total_nodes] == g.num_arcs());
 
   // Pass 2: scatter each arc into its component slot. Scanning u ascending
   // and its (sorted) global adjacency in order writes each local list sorted
   // by global — hence by local — neighbor id.
-  adj_.assign(g.num_arcs(), 0);
-  std::vector<EdgeIndex> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<NodeId> adj(g.num_arcs(), 0);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     const EdgeIndex base = g.offset(u);
     const auto nbr = g.neighbors(u);
@@ -70,11 +75,53 @@ ComponentViews::ComponentViews(const Graph& g,
       const uint32_t c = bcc.arc_component[base + i];
       if (c != last_c) {
         last_c = c;
-        last_slot = node_begin_[c] + LocalIndex(nodes(c), u);
+        last_slot = node_begin[c] + LocalIndex(members_of(c), u);
       }
-      adj_[cursor[last_slot]++] = LocalIndex(nodes(c), nbr[i]);
+      adj[cursor[last_slot]++] = LocalIndex(members_of(c), nbr[i]);
     }
   }
+
+  node_begin_ = std::move(node_begin);
+  nodes_ = std::move(nodes);
+  offsets_ = std::move(offsets);
+  adj_ = std::move(adj);
+}
+
+Status ComponentViews::FromParts(ArrayRef<uint64_t> node_begin,
+                                 ArrayRef<NodeId> nodes,
+                                 ArrayRef<EdgeIndex> offsets,
+                                 ArrayRef<NodeId> adj, NodeId max_size,
+                                 ComponentViews* out) {
+  if (node_begin.empty() || offsets.empty()) {
+    return Status::InvalidArgument("component view arrays must be non-empty");
+  }
+  const uint64_t total_nodes = node_begin[node_begin.size() - 1];
+  if (nodes.size() != total_nodes || offsets.size() != total_nodes + 1) {
+    return Status::InvalidArgument(
+        "component view node arrays do not line up");
+  }
+  // Interior node_begin entries bound every nodes(c)/Neighbors(c, ·) span;
+  // a non-monotonic (corrupt) entry would hand out spans with end < begin
+  // or past the backing storage. O(ℓ) — negligible next to the load.
+  if (node_begin[0] != 0) {
+    return Status::InvalidArgument("component view node_begin must start 0");
+  }
+  for (size_t i = 1; i < node_begin.size(); ++i) {
+    if (node_begin[i - 1] > node_begin[i]) {
+      return Status::InvalidArgument(
+          "component view node_begin is not monotonic");
+    }
+  }
+  if (offsets[0] != 0 || offsets[total_nodes] != adj.size()) {
+    return Status::InvalidArgument(
+        "component view offsets do not bound the adjacency");
+  }
+  out->node_begin_ = std::move(node_begin);
+  out->nodes_ = std::move(nodes);
+  out->offsets_ = std::move(offsets);
+  out->adj_ = std::move(adj);
+  out->max_size_ = max_size;
+  return Status::OK();
 }
 
 NodeId ComponentViews::ToLocal(uint32_t c, NodeId global) const {

@@ -7,6 +7,8 @@
 
 #include "bicomp/biconnected.h"
 #include "graph/graph.h"
+#include "graph/storage.h"
+#include "util/status.h"
 
 namespace saphyra {
 
@@ -35,6 +37,9 @@ namespace saphyra {
 /// Graph invariant, and the local-id bijection preserves order; a traversal
 /// over the view therefore discovers nodes in the same order as the filtered
 /// traversal over the global graph it replaces.
+///
+/// The four arrays live in ArrayRefs: built views own them; views loaded
+/// from a `.sgr` cache reference the mapping zero-copy (graph/binary_io.h).
 class ComponentViews {
  public:
   ComponentViews() = default;
@@ -93,11 +98,27 @@ class ComponentViews {
     __builtin_prefetch(&offsets_[node_begin_[c] + local], 0, 3);
   }
 
+  /// \brief The raw flat arrays (serialization / bulk-copy access).
+  std::span<const uint64_t> raw_node_begin() const {
+    return node_begin_.span();
+  }
+  std::span<const NodeId> raw_nodes() const { return nodes_.span(); }
+  std::span<const EdgeIndex> raw_offsets() const { return offsets_.span(); }
+  std::span<const NodeId> raw_adj() const { return adj_.span(); }
+
+  /// \brief Assemble views directly from the four flat arrays
+  /// (deserialization). Only boundary invariants are checked — the `.sgr`
+  /// reader owns the trust model (see DESIGN.md).
+  static Status FromParts(ArrayRef<uint64_t> node_begin,
+                          ArrayRef<NodeId> nodes, ArrayRef<EdgeIndex> offsets,
+                          ArrayRef<NodeId> adj, NodeId max_size,
+                          ComponentViews* out);
+
  private:
-  std::vector<size_t> node_begin_;  // size ℓ+1, into nodes_/offsets_
-  std::vector<NodeId> nodes_;       // size Σ|C_i|, global ids per component
-  std::vector<EdgeIndex> offsets_;  // size Σ|C_i|+1, absolute into adj_
-  std::vector<NodeId> adj_;         // size num_arcs, local ids
+  ArrayRef<uint64_t> node_begin_;  // size ℓ+1, into nodes_/offsets_
+  ArrayRef<NodeId> nodes_;    // size Σ|C_i|, global ids per component
+  ArrayRef<EdgeIndex> offsets_;  // size Σ|C_i|+1, absolute into adj_
+  ArrayRef<NodeId> adj_;      // size num_arcs, local ids
   NodeId max_size_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/binary_io.h"
 #include "util/logging.h"
 
 namespace saphyra {
@@ -12,6 +13,26 @@ IspIndex::IspIndex(const Graph& g)
       conn_(ConnectedComponents(g)),
       tree_(BlockCutTree::Build(g, bcc_, conn_)),
       views_(g, bcc_) {
+  BuildDerivedTables();
+}
+
+IspIndex::IspIndex(const Graph& g, GraphCache&& cache)
+    : g_(&g),
+      bcc_(std::move(cache.bcc)),
+      conn_(std::move(cache.conn)),
+      tree_(std::move(cache.tree)),
+      views_(std::move(cache.views)) {
+  SAPHYRA_CHECK_MSG(cache.has_decomposition,
+                    "cache holds no decomposition; use IspIndex(g)");
+  SAPHYRA_CHECK_MSG(bcc_.arc_component.size() == g.num_arcs() &&
+                        conn_.component.size() == g.num_nodes(),
+                    "cached decomposition does not match the graph");
+  tree_.Rebind(bcc_, conn_);
+  BuildDerivedTables();
+}
+
+void IspIndex::BuildDerivedTables() {
+  const Graph& g = *g_;
   const double n = static_cast<double>(g.num_nodes());
   const double pair_norm = n * (n - 1.0);
   const uint32_t num_comps = bcc_.num_components;

@@ -14,6 +14,8 @@
 
 namespace saphyra {
 
+struct GraphCache;  // graph/binary_io.h
+
 /// \brief Index over the intra-component shortest-path (ISP) sample space
 /// (§IV-A of the paper).
 ///
@@ -38,6 +40,15 @@ class IspIndex {
  public:
   /// \brief Build the full index. O(n + m).
   explicit IspIndex(const Graph& g);
+
+  /// \brief Build the index from a persisted decomposition (a `.sgr` cache
+  /// loaded by graph/binary_io.h), skipping the biconnected DFS, the
+  /// connectivity pass, the block-cut-tree DP and the view materialization.
+  /// `g` must be the cache's own graph (typically
+  /// `std::move(cache.graph)` into stable storage first) and
+  /// `cache.has_decomposition` must hold; only the closed-form tables
+  /// (γ, bc_a, alias tables) are recomputed — O(Σ|C_i|).
+  IspIndex(const Graph& g, GraphCache&& cache);
 
   IspIndex(const IspIndex&) = delete;
   IspIndex& operator=(const IspIndex&) = delete;
@@ -91,6 +102,10 @@ class IspIndex {
   NodeId SampleTarget(uint32_t c, NodeId s, Rng* rng) const;
 
  private:
+  /// Shared tail of both constructors: the closed-form tables derived from
+  /// the decomposition (γ, W_i, bc_a, alias tables).
+  void BuildDerivedTables();
+
   const Graph* g_;
   BiconnectedComponents bcc_;
   ComponentLabels conn_;

@@ -1,6 +1,17 @@
 #ifndef SAPHYRA_CORE_SAPHYRA_H_
 #define SAPHYRA_CORE_SAPHYRA_H_
 
+/// \file
+/// The generic SaPHyRa framework (Algorithm 1 of the paper): rank a
+/// hypothesis class by (ε,δ)-estimates of expected risk, splitting the
+/// sample space into an exactly-computed subspace and a sampled remainder.
+/// The betweenness instantiation lives in bc/saphyra_bc.h; its
+/// preprocessing (the ISP index of bicomp/isp.h) can be persisted in a
+/// `.sgr` cache and adopted without recomputation — see README.md,
+/// "The .sgr binary cache" and DESIGN.md, "The .sgr on-disk format".
+/// For a tour of the public API, start at README.md, "Library tour", or
+/// examples/quickstart.cpp.
+
 #include <cstddef>
 #include <cstdint>
 #include <limits>

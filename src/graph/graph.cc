@@ -31,6 +31,30 @@ std::string Graph::DebugString() const {
   return buf;
 }
 
+Status Graph::FromCsr(NodeId num_nodes, NodeId max_degree,
+                      ArrayRef<EdgeIndex> offsets, ArrayRef<NodeId> adj,
+                      Graph* out) {
+  if (offsets.size() != static_cast<size_t>(num_nodes) + 1) {
+    return Status::InvalidArgument("CSR offsets array has wrong length");
+  }
+  if (offsets[0] != 0 || offsets[num_nodes] != adj.size()) {
+    return Status::InvalidArgument("CSR offsets do not bound the adjacency");
+  }
+  // Interior offsets bound every neighbors(v) span; a non-monotonic
+  // (corrupt) entry would underflow degree(v) and hand out spans past the
+  // backing storage. One sequential pass over 8(n+1) bytes.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("CSR offsets are not monotonic");
+    }
+  }
+  out->num_nodes_ = num_nodes;
+  out->max_degree_ = max_degree;
+  out->offsets_ = std::move(offsets);
+  out->adj_ = std::move(adj);
+  return Status::OK();
+}
+
 void GraphBuilder::AddEdge(NodeId u, NodeId v) {
   if (u == v) return;
   edges_.emplace_back(u, v);

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/storage.h"
 #include "util/status.h"
 
 namespace saphyra {
@@ -30,7 +31,10 @@ constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 /// subspace computation) and deterministic iteration order.
 ///
 /// Construction goes through GraphBuilder, which deduplicates parallel edges
-/// and removes self loops.
+/// and removes self loops. The CSR arrays live in ArrayRefs, so a Graph can
+/// either own them (builder, generators) or view them zero-copy inside an
+/// mmap'ed `.sgr` cache file (graph/binary_io.h); algorithms cannot tell
+/// the difference.
 class Graph {
  public:
   Graph() = default;
@@ -69,13 +73,30 @@ class Graph {
   /// \brief Short "n=..., m=..." summary for logs and bench headers.
   std::string DebugString() const;
 
+  /// \brief The raw CSR arrays (serialization / bulk-copy access).
+  std::span<const EdgeIndex> raw_offsets() const { return offsets_.span(); }
+  std::span<const NodeId> raw_adj() const { return adj_.span(); }
+
+  /// \brief True when the CSR arrays view foreign storage (a mapped cache).
+  bool is_view() const { return offsets_.is_view() || adj_.is_view(); }
+
+  /// \brief Assemble a Graph directly from CSR arrays (deserialization).
+  ///
+  /// `offsets` must have num_nodes+1 entries with offsets[0] == 0 and
+  /// offsets[num_nodes] == adj.size(); adjacency lists must be sorted, as
+  /// GraphBuilder produces them. Only the boundary invariants are checked
+  /// here — the `.sgr` reader owns the trust model (see DESIGN.md).
+  static Status FromCsr(NodeId num_nodes, NodeId max_degree,
+                        ArrayRef<EdgeIndex> offsets, ArrayRef<NodeId> adj,
+                        Graph* out);
+
  private:
   friend class GraphBuilder;
 
   NodeId num_nodes_ = 0;
   NodeId max_degree_ = 0;
-  std::vector<EdgeIndex> offsets_;  // size num_nodes_ + 1
-  std::vector<NodeId> adj_;         // size num_arcs
+  ArrayRef<EdgeIndex> offsets_;  // size num_nodes_ + 1
+  ArrayRef<NodeId> adj_;         // size num_arcs
 };
 
 /// \brief Accumulates an edge list and produces a canonical Graph.

@@ -8,6 +8,22 @@
 
 namespace saphyra {
 
+namespace {
+
+/// Drop trailing CR / spaces / tabs. Windows-edited corpora arrive with
+/// CRLF line endings, which std::getline leaves on the line; without this a
+/// blank "\r\n" line (or trailing whitespace after the second id) fails the
+/// edge parse.
+void StripTrailingWhitespace(std::string* line) {
+  while (!line->empty()) {
+    const char c = line->back();
+    if (c != '\r' && c != ' ' && c != '\t') break;
+    line->pop_back();
+  }
+}
+
+}  // namespace
+
 Status LoadSnapEdgeList(const std::string& path, Graph* out,
                         bool compact_ids) {
   std::ifstream in(path);
@@ -24,6 +40,7 @@ Status LoadSnapEdgeList(const std::string& path, Graph* out,
   };
   while (std::getline(in, line)) {
     ++line_no;
+    StripTrailingWhitespace(&line);
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     uint64_t u, v;
     std::istringstream ss(line);
@@ -62,6 +79,7 @@ Status LoadDimacsGraph(const std::string& path, Graph* out) {
   uint64_t declared_nodes = 0;
   bool saw_header = false;
   while (std::getline(in, line)) {
+    StripTrailingWhitespace(&line);
     if (line.empty() || line[0] == 'c') continue;
     std::istringstream ss(line);
     char tag;
@@ -96,6 +114,7 @@ Status LoadDimacsCoordinates(const std::string& path,
   coords->clear();
   std::string line;
   while (std::getline(in, line)) {
+    StripTrailingWhitespace(&line);
     if (line.empty() || line[0] == 'c' || line[0] == 'p') continue;
     std::istringstream ss(line);
     char tag;

@@ -1,6 +1,14 @@
 #ifndef SAPHYRA_GRAPH_IO_H_
 #define SAPHYRA_GRAPH_IO_H_
 
+/// \file
+/// Text readers for the paper's corpora. These are the *slow* ingestion
+/// path: line-by-line parses meant to run once, after which
+/// tools/graph_convert persists the parsed graph (plus its preprocessing)
+/// as a `.sgr` binary cache that graph/binary_io.h loads back in O(1) via
+/// mmap. See README.md, "The .sgr binary cache" for the workflow and
+/// DESIGN.md, "The .sgr on-disk format" for the byte-level spec.
+
 #include <string>
 #include <vector>
 
@@ -9,7 +17,7 @@
 
 namespace saphyra {
 
-/// Readers for the two on-disk formats used by the paper's corpora.
+/// Readers for the two text formats used by the paper's corpora.
 ///
 /// * SNAP edge lists (Flickr, LiveJournal, Orkut): whitespace-separated
 ///   "u v" pairs, '#' comment lines. Direction and weights are ignored,
@@ -18,6 +26,11 @@ namespace saphyra {
 /// * DIMACS shortest-path challenge (USA-road): ".gr" arc files with
 ///   "p sp n m" header and "a u v w" arcs (1-indexed, weights ignored), and
 ///   ".co" coordinate files with "v id x y" lines.
+///
+/// Both readers tolerate CRLF line endings and trailing whitespace
+/// (Windows-edited corpora), and cache-aware callers should prefer
+/// LoadGraphAuto (graph/binary_io.h), which substitutes a fresh `.sgr`
+/// cache for the text parse automatically.
 
 /// \brief Load a SNAP-style edge list. Node ids are renumbered compactly in
 /// first-appearance order when `compact_ids` is true; otherwise the raw ids

@@ -1,0 +1,81 @@
+#include "util/mapped_file.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SAPHYRA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace saphyra {
+
+namespace {
+
+Status ReadWholeFile(const std::string& path, std::vector<std::byte>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(end));
+  size_t got = end == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) return Status::IOError("short read on " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MappedFile::Open(const std::string& path,
+                        std::shared_ptr<MappedFile>* out, bool prefer_mmap) {
+  std::shared_ptr<MappedFile> file(new MappedFile());
+#if SAPHYRA_HAVE_MMAP
+  if (prefer_mmap) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError("cannot open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("cannot stat " + path);
+    }
+    if (st.st_size == 0) {
+      // mmap of length 0 is undefined; an empty file needs no mapping.
+      ::close(fd);
+      *out = std::move(file);
+      return Status::OK();
+    }
+    void* addr = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (addr == MAP_FAILED) return Status::IOError("mmap failed on " + path);
+    file->data_ = addr;
+    file->size_ = static_cast<size_t>(st.st_size);
+    file->mapped_ = true;
+    *out = std::move(file);
+    return Status::OK();
+  }
+#endif
+  (void)prefer_mmap;
+  SAPHYRA_RETURN_NOT_OK(ReadWholeFile(path, &file->fallback_));
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+  *out = std::move(file);
+  return Status::OK();
+}
+
+MappedFile::~MappedFile() {
+#if SAPHYRA_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace saphyra

@@ -1,0 +1,55 @@
+#ifndef SAPHYRA_UTIL_MAPPED_FILE_H_
+#define SAPHYRA_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace saphyra {
+
+/// \brief Read-only view of a whole file, mmap'ed when the platform allows.
+///
+/// The zero-copy `.sgr` reader (graph/binary_io.h) hands out ArrayRefs that
+/// point straight into these bytes, each holding a shared_ptr<MappedFile>
+/// keepalive — the mapping is unmapped exactly when the last referencing
+/// structure dies. On platforms without mmap (or when `prefer_mmap` is
+/// false) the file is read into an owned buffer instead; callers see the
+/// same interface either way, just without the zero-copy property.
+class MappedFile {
+ public:
+  /// \brief Map (or read) `path`. Fails with IOError when the file cannot
+  /// be opened or mapped.
+  static Status Open(const std::string& path,
+                     std::shared_ptr<MappedFile>* out,
+                     bool prefer_mmap = true);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+
+  /// \brief True when the bytes are a live mmap (zero-copy), false when
+  /// they were copied into an owned buffer.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_UTIL_MAPPED_FILE_H_

@@ -65,6 +65,29 @@ TEST_F(IoTest, SnapRawIdsPreserved) {
   EXPECT_TRUE(g.HasEdge(5, 9));
 }
 
+TEST_F(IoTest, SnapToleratesCrlfAndTrailingWhitespace) {
+  // A Windows-edited edge list: CRLF line endings, a whitespace-only line,
+  // and trailing spaces/tabs after the second id.
+  std::string path = TempPath("crlf.txt");
+  WriteFile(path, "# comment\r\n0 1\r\n\r\n   \r\n1 2  \r\n2 3\t\r\n");
+  Graph g;
+  ASSERT_TRUE(LoadSnapEdgeList(path, &g, /*compact_ids=*/false).ok());
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST_F(IoTest, DimacsToleratesCrlf) {
+  std::string path = TempPath("crlf.gr");
+  WriteFile(path, "c comment\r\np sp 3 2\r\n\r\na 1 2 5\r\na 2 3 7\r\n");
+  Graph g;
+  ASSERT_TRUE(LoadDimacsGraph(path, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
 TEST_F(IoTest, SnapMissingFileFails) {
   Graph g;
   Status st = LoadSnapEdgeList(TempPath("does_not_exist.txt"), &g);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Docs lint: the build/verify command users copy out of README.md must be
+# the repo's actual tier-1 verification line from ROADMAP.md. Run from
+# anywhere; CI runs it on every push.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+tier1="$(sed -n 's/^\*\*Tier-1 verify:\*\* `\(.*\)`$/\1/p' "$REPO_ROOT/ROADMAP.md")"
+if [[ -z "$tier1" ]]; then
+  echo "check_docs: could not extract the tier-1 verify line from ROADMAP.md" >&2
+  exit 1
+fi
+
+if ! grep -qF "$tier1" "$REPO_ROOT/README.md"; then
+  echo "check_docs: README.md build commands drifted from ROADMAP.md" >&2
+  echo "  ROADMAP tier-1: $tier1" >&2
+  echo "  (README.md must contain that exact command line)" >&2
+  exit 1
+fi
+
+echo "check_docs: README.md matches ROADMAP.md tier-1 verify line"

@@ -4,11 +4,17 @@
 // betweenness centrality with SaPHyRa_bc, ABRA or KADABRA.
 //
 // Usage:
-//   saphyra_rank --graph edges.txt [--format snap|dimacs]
+//   saphyra_rank --graph edges.txt [--format snap|dimacs|sgr|auto]
 //                [--targets targets.txt | --random-targets K]
 //                [--algorithm saphyra|saphyra-full|abra|kadabra]
 //                [--epsilon 0.05] [--delta 0.01] [--seed 1]
-//                [--lcc] [--output ranking.tsv]
+//                [--lcc] [--no-cache] [--output ranking.tsv]
+//
+// Loading is cache-aware: when `<graph>.sgr` exists and is fresh (see
+// tools/graph_convert.cc and README.md, "The .sgr binary cache"), the graph
+// *and* its preprocessing are mmap'ed from the cache instead of re-parsing
+// the text and re-running the decomposition; --no-cache forces the text
+// path. A `.sgr` file can also be passed directly as --graph.
 //
 // The targets file holds one node id per line ('#' comments allowed).
 // Output: "<rank>\t<node>\t<estimate>" sorted by rank; diagnostics go to
@@ -20,12 +26,14 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/abra.h"
 #include "baselines/kadabra.h"
 #include "bc/saphyra_bc.h"
+#include "graph/binary_io.h"
 #include "graph/connectivity.h"
 #include "graph/io.h"
 #include "metrics/rank.h"
@@ -38,7 +46,7 @@ namespace {
 
 struct Args {
   std::string graph_path;
-  std::string format = "snap";
+  std::string format = "auto";
   std::string targets_path;
   size_t random_targets = 0;
   std::string algorithm = "saphyra";
@@ -46,17 +54,18 @@ struct Args {
   double delta = 0.01;
   uint64_t seed = 1;
   bool lcc = false;
+  bool no_cache = false;
   std::string output;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --graph FILE [--format snap|dimacs]\n"
+      "usage: %s --graph FILE [--format snap|dimacs|sgr|auto]\n"
       "          [--targets FILE | --random-targets K]\n"
       "          [--algorithm saphyra|saphyra-full|abra|kadabra]\n"
       "          [--epsilon E] [--delta D] [--seed S] [--lcc]\n"
-      "          [--output FILE]\n",
+      "          [--no-cache] [--output FILE]\n",
       argv0);
 }
 
@@ -70,6 +79,8 @@ bool Parse(int argc, char** argv, Args* args) {
     const char* val = nullptr;
     if (key == "--lcc") {
       args->lcc = true;
+    } else if (key == "--no-cache") {
+      args->no_cache = true;
     } else if (key == "--graph" && (val = next())) {
       args->graph_path = val;
     } else if (key == "--format" && (val = next())) {
@@ -138,17 +149,26 @@ int main(int argc, char** argv) {
   }
 
   Timer timer;
-  Graph g;
-  Status st = args.format == "dimacs"
-                  ? LoadDimacsGraph(args.graph_path, &g)
-                  : LoadSnapEdgeList(args.graph_path, &g);
+  GraphCache cache;
+  LoadGraphOptions lopts;
+  lopts.format = args.format;
+  lopts.use_cache = !args.no_cache;
+  bool from_cache = false;
+  Status st = LoadGraphAuto(args.graph_path, lopts, &cache, &from_cache);
   if (!st.ok()) {
     std::fprintf(stderr, "failed to load graph: %s\n", st.ToString().c_str());
     return 1;
   }
-  if (args.lcc) g = LargestComponent(g);
-  std::fprintf(stderr, "loaded %s in %s\n", g.DebugString().c_str(),
-               FormatDuration(timer.ElapsedSeconds()).c_str());
+  Graph g = std::move(cache.graph);
+  if (args.lcc) {
+    // The cached decomposition labels the full graph; renumbering to the
+    // giant component invalidates it.
+    g = LargestComponent(g);
+    cache.has_decomposition = false;
+  }
+  std::fprintf(stderr, "loaded %s in %s%s\n", g.DebugString().c_str(),
+               FormatDuration(timer.ElapsedSeconds()).c_str(),
+               from_cache ? " (.sgr cache)" : "");
   if (g.num_nodes() < 2) {
     std::fprintf(stderr, "graph too small to rank\n");
     return 1;
@@ -179,7 +199,11 @@ int main(int argc, char** argv) {
   timer.Restart();
   std::vector<double> estimates;
   if (args.algorithm == "saphyra" || args.algorithm == "saphyra-full") {
-    IspIndex isp(g);
+    std::unique_ptr<IspIndex> isp_ptr =
+        cache.has_decomposition
+            ? std::make_unique<IspIndex>(g, std::move(cache))
+            : std::make_unique<IspIndex>(g);
+    IspIndex& isp = *isp_ptr;
     SaphyraBcOptions opts;
     opts.epsilon = args.epsilon;
     opts.delta = args.delta;
