@@ -6,8 +6,9 @@
 // In addition to the gbench timings, a hand-rolled speedup suite runs first
 // and prints machine-readable before/after ratios for the optimizations this
 // codebase tracks (component-view vs. filtered sampling, pooled vs.
-// spawn-per-round engine). Pass --speedup_json=PATH to also dump them as
-// JSON (tools/run_benchmarks.sh does).
+// spawn-per-round engine, adaptive vs. fixed-budget sample counts at equal
+// ε — `adaptive_sample_reduction`). Pass --speedup_json=PATH to also dump
+// them as JSON (tools/run_benchmarks.sh does).
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +20,7 @@
 #include "bc/brandes.h"
 #include "bc/exact_subspace.h"
 #include "bc/path_sampler.h"
+#include "bc/saphyra_bc.h"
 #include "bench_util.h"
 #include "bicomp/isp.h"
 #include "core/sample_engine.h"
@@ -330,6 +332,33 @@ Speedup MeasureCachedPreprocess() {
   return {"cached_preprocess", base, opt};
 }
 
+/// Adaptive vs. fixed-budget sampling at equal ε: the progressive
+/// scheduler's empirical-Bernstein rule stops as soon as every target
+/// meets ε, while a fixed-budget run must draw the full VC cap Nmax
+/// (which is what guarantees ε without adaptivity — RunDirectEstimation's
+/// schedule). The ratio Nmax / N_adaptive is the sample (and, for
+/// BFS-dominated workloads, time) reduction the adaptive stopping buys.
+struct AdaptiveReduction {
+  uint64_t adaptive_samples;
+  uint64_t fixed_budget_samples;
+  double ratio() const {
+    return adaptive_samples == 0
+               ? 1.0
+               : static_cast<double>(fixed_budget_samples) /
+                     static_cast<double>(adaptive_samples);
+  }
+};
+
+AdaptiveReduction MeasureAdaptiveReduction() {
+  const IspIndex& isp = SocialIsp();
+  SaphyraBcOptions opts;
+  opts.epsilon = 0.02;
+  opts.seed = 42;
+  SaphyraBcResult res =
+      RunSaphyraBc(isp, RandomSubset(isp.graph(), 100, 42), opts);
+  return {res.samples_used, res.max_samples};
+}
+
 Speedup MeasurePooledEngine() {
   const int rounds = 300;
   const uint64_t per_round = 512;
@@ -372,6 +401,14 @@ void RunSpeedupSuite(const std::string& json_path) {
   std::printf("[speedup] %-28s ratio=%.2fx (geomean of %d fixtures)\n",
               "path_sampling", path_speedup, npath);
 
+  AdaptiveReduction adaptive = MeasureAdaptiveReduction();
+  std::printf(
+      "[speedup] %-28s adaptive=%llu fixed=%llu ratio=%.2fx\n",
+      "adaptive_sample_reduction",
+      static_cast<unsigned long long>(adaptive.adaptive_samples),
+      static_cast<unsigned long long>(adaptive.fixed_budget_samples),
+      adaptive.ratio());
+
   if (json_path.empty()) return;
   std::ofstream out(json_path);
   out << "{\n";
@@ -381,6 +418,10 @@ void RunSpeedupSuite(const std::string& json_path) {
         << ",\n";
     out << "  \"" << s.key << "_speedup\": " << s.ratio() << ",\n";
   }
+  out << "  \"adaptive_samples\": " << adaptive.adaptive_samples << ",\n";
+  out << "  \"fixed_budget_samples\": " << adaptive.fixed_budget_samples
+      << ",\n";
+  out << "  \"adaptive_sample_reduction\": " << adaptive.ratio() << ",\n";
   out << "  \"path_sampling_speedup\": " << path_speedup << "\n}\n";
   std::printf("[speedup] wrote %s\n", json_path.c_str());
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "bc/vc_bc.h"
+#include "core/progressive_sampler.h"
 #include "graph/bfs.h"
 #include "stats/vc.h"
 #include "util/logging.h"
@@ -133,6 +135,85 @@ double RademacherBound(const std::vector<double>& sum_sq, uint64_t n_samples) {
   return phi(0.5 * (lo + hi));
 }
 
+/// ABRA's sample generator as a weighted-loss ranking problem: a sample is
+/// a uniform ordered pair (u,v) and hypothesis w's loss is the dependency
+/// fraction σ_uv(w)/σ_uv ∈ [0, 1] (0 for unreachable pairs). Clones share
+/// the graph and own their BFS scratch.
+class AbraProblem : public HypothesisRankingProblem {
+ public:
+  AbraProblem(const Graph& g, double vc_bound)
+      : g_(g), vc_bound_(vc_bound), acc_(g) {}
+
+  size_t num_hypotheses() const override { return g_.num_nodes(); }
+
+  double ComputeExactRisks(std::vector<double>* exact_risks) override {
+    exact_risks->assign(num_hypotheses(), 0.0);
+    return 0.0;
+  }
+
+  bool has_weighted_losses() const override { return true; }
+
+  void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override {
+    SAPHYRA_CHECK_MSG(false, "ABRA losses are fractional");
+  }
+
+  void SampleWeightedLosses(Rng* rng,
+                            std::vector<WeightedHit>* hits) override {
+    const NodeId n = g_.num_nodes();
+    NodeId u = static_cast<NodeId>(rng->UniformInt(n));
+    NodeId v;
+    do {
+      v = static_cast<NodeId>(rng->UniformInt(n));
+    } while (v == u);
+    acc_.Accumulate(u, v, [&](NodeId w, double f) {
+      hits->push_back({w, f});
+    });
+  }
+
+  double VcDimension() const override { return vc_bound_; }
+
+  std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
+    return std::make_unique<AbraProblem>(g_, vc_bound_);
+  }
+
+ private:
+  const Graph& g_;
+  double vc_bound_;
+  PairDependencyAccumulator acc_;
+};
+
+/// ABRA's stopping criterion on the shared progressive scheduler: bound
+/// the supremum deviation by 2·R̃ + 3·sqrt(ln(2/δ_e)/2N), with R̃ the
+/// self-bounding Rademacher estimate over the per-node sums of squares.
+/// Not a per-hypothesis deviation rule — the reason StoppingRule exposes
+/// whole-vector moment statistics instead of a per-hypothesis callback.
+class RademacherRule : public StoppingRule {
+ public:
+  RademacherRule(double epsilon, double delta)
+      : epsilon_(epsilon), delta_(delta) {}
+
+  void Begin(uint64_t initial_samples, uint64_t max_samples,
+             uint32_t planned_checks) override {
+    delta_check_ = delta_ / static_cast<double>(planned_checks);
+  }
+
+  bool ShouldStop(const SampleStats& stats) override {
+    const double r_bound = RademacherBound(stats.sum_squares, stats.n);
+    last_bound_ = 2.0 * r_bound +
+                  3.0 * std::sqrt(std::log(2.0 / delta_check_) /
+                                  (2.0 * static_cast<double>(stats.n)));
+    return last_bound_ <= epsilon_;
+  }
+
+  double last_bound() const { return last_bound_; }
+
+ private:
+  double epsilon_;
+  double delta_;
+  double delta_check_ = 0.0;
+  double last_bound_ = 0.0;
+};
+
 }  // namespace
 
 AbraResult RunAbra(const Graph& g, const AbraOptions& options) {
@@ -144,51 +225,33 @@ AbraResult RunAbra(const Graph& g, const AbraOptions& options) {
   if (n < 2) return result;
 
   Rng rng(options.seed);
-  PairDependencyAccumulator acc(g);
-  std::vector<double> sum(n, 0.0);
-  std::vector<double> sum_sq(n, 0.0);
-
   const double eps = options.epsilon;
-  const double c = options.vc_constant;
-  const uint64_t n0 = std::max<uint64_t>(
-      32, static_cast<uint64_t>(
-              std::ceil(c / (eps * eps) * std::log(2.0 / options.delta))));
-  const uint64_t cap = std::max(
-      n0, VcSampleBound(eps, options.delta, RiondatoVcBound(g), c));
-  const uint32_t rounds = static_cast<uint32_t>(std::max<double>(
-      1.0, std::ceil(std::log2(static_cast<double>(cap) /
-                               static_cast<double>(n0)))));
-  const double delta_epoch = options.delta / static_cast<double>(rounds + 1);
+  const double vc = RiondatoVcBound(g);  // two BFS sweeps — compute once
+  AbraProblem problem(g, vc);
+  const ProgressiveOptions schedule =
+      MakeVcCappedSchedule(eps, options.delta, vc, options.vc_constant,
+                           options.max_wave, options.num_threads);
 
-  uint64_t samples = 0;
-  uint64_t target = n0;
-  for (;;) {
-    while (samples < target) {
-      NodeId u = static_cast<NodeId>(rng.UniformInt(n));
-      NodeId v;
-      do {
-        v = static_cast<NodeId>(rng.UniformInt(n));
-      } while (v == u);
-      acc.Accumulate(u, v, [&](NodeId w, double f) {
-        sum[w] += f;
-        sum_sq[w] += f * f;
-      });
-      ++samples;
-    }
-    ++result.epochs;
-    const double r_bound = RademacherBound(sum_sq, samples);
-    result.final_bound =
-        2.0 * r_bound +
-        3.0 * std::sqrt(std::log(2.0 / delta_epoch) /
-                        (2.0 * static_cast<double>(samples)));
-    if (result.final_bound <= eps || samples >= cap) break;
-    target = std::min(samples * 2, cap);
+  ProgressiveSampler sampler(&problem, schedule, &rng);
+  ProgressiveResult run;
+  if (options.top_k > 0 && options.top_k < n) {
+    // Top-k mode: empirical-Bernstein separation on the fractional
+    // losses (valid for any [0,1]-valued samples, not just 0/1).
+    TopKSeparationRule rule(options.top_k, options.delta, /*deltas=*/{},
+                            /*offsets=*/{}, /*scale=*/1.0);
+    run = sampler.Run(&rule);
+    result.final_bound = rule.last_gap();
+  } else {
+    RademacherRule rule(eps, options.delta);
+    run = sampler.Run(&rule);
+    result.final_bound = rule.last_bound();
   }
 
   for (NodeId w = 0; w < n; ++w) {
-    result.bc[w] = sum[w] / static_cast<double>(samples);
+    result.bc[w] = run.stats.mean(w);
   }
-  result.samples_used = samples;
+  result.samples_used = run.samples_used;
+  result.epochs = run.checks_used;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

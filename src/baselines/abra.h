@@ -15,6 +15,18 @@ struct AbraOptions {
   uint64_t seed = 1;
   /// Constant of the fallback sample-size cap.
   double vc_constant = 0.5;
+  /// Worker threads for pair sampling (execution only — results are
+  /// bitwise identical for a fixed seed regardless of the thread count;
+  /// see core/progressive_sampler.h).
+  uint32_t num_threads = 1;
+  /// 0 = Rademacher sup-norm ε mode; >0 = stop once the top-k node set is
+  /// separated by per-node empirical-Bernstein intervals. A top_k covering
+  /// every node (≥ num_nodes) is a full ranking in disguise and falls
+  /// back to ε mode.
+  uint64_t top_k = 0;
+  /// Samples per engine wave (0 = one wave per stopping check); batching
+  /// granularity only, never affects results.
+  uint64_t max_wave = 0;
 };
 
 /// \brief Output of ABRA.
@@ -24,7 +36,9 @@ struct AbraResult {
   std::vector<double> bc;
   uint64_t samples_used = 0;
   uint32_t epochs = 0;
-  double final_bound = 0.0;  ///< last Rademacher deviation bound
+  /// Last Rademacher deviation bound (ε mode), or the final top-k
+  /// separation gap (top-k mode; ≥ 0 iff separation was reached).
+  double final_bound = 0.0;
   double seconds = 0.0;
 };
 
@@ -38,8 +52,10 @@ struct AbraResult {
 /// is bounded through the exponential-moment ("Massart-style") function of
 /// the per-node sums of squares minimized over its scale parameter — the
 /// self-bounding computation ABRA performs at the end of each sample
-/// schedule epoch. Epochs double the sample size; δ is split evenly across
-/// epochs; a Riondato–Kornaropoulos VC cap bounds the schedule.
+/// schedule epoch. The run executes on the shared progressive scheduler
+/// (core/progressive_sampler.h): epochs double the sample size, δ is
+/// split evenly across the planned checks, and a Riondato–Kornaropoulos
+/// VC cap bounds the schedule.
 AbraResult RunAbra(const Graph& g, const AbraOptions& options);
 
 }  // namespace saphyra

@@ -2,15 +2,72 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "bc/vc_bc.h"
-#include "stats/empirical_bernstein.h"
+#include "core/progressive_sampler.h"
 #include "stats/vc.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 namespace saphyra {
+
+namespace {
+
+/// KADABRA's sample generator as a hypothesis-ranking problem: one sample
+/// draws a uniform ordered node pair, samples *one* uniform shortest path
+/// between them with the configured strategy, and reports the path's inner
+/// nodes (0/1 losses over all n node-hypotheses). Clones share the graph
+/// and own their BFS scratch, so the progressive scheduler can stripe the
+/// draw over its logical workers.
+class KadabraProblem : public HypothesisRankingProblem {
+ public:
+  KadabraProblem(const Graph& g, SamplingStrategy strategy, double vc_bound)
+      : g_(g),
+        strategy_(strategy),
+        vc_bound_(vc_bound),
+        sampler_(g, /*arc_component=*/nullptr) {}
+
+  size_t num_hypotheses() const override { return g_.num_nodes(); }
+
+  double ComputeExactRisks(std::vector<double>* exact_risks) override {
+    // KADABRA has no exact subspace; everything is sampled.
+    exact_risks->assign(num_hypotheses(), 0.0);
+    return 0.0;
+  }
+
+  void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override {
+    const NodeId n = g_.num_nodes();
+    NodeId u = static_cast<NodeId>(rng->UniformInt(n));
+    NodeId v;
+    do {
+      v = static_cast<NodeId>(rng->UniformInt(n));
+    } while (v == u);
+    // Unreachable pairs are zero-valued samples.
+    if (sampler_.SampleUniformPath(u, v, kInvalidComp, strategy_, rng,
+                                   &path_)) {
+      for (size_t i = 1; i + 1 < path_.nodes.size(); ++i) {
+        hits->push_back(path_.nodes[i]);
+      }
+    }
+  }
+
+  double VcDimension() const override { return vc_bound_; }
+
+  std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
+    return std::make_unique<KadabraProblem>(g_, strategy_, vc_bound_);
+  }
+
+ private:
+  const Graph& g_;
+  SamplingStrategy strategy_;
+  double vc_bound_;
+  PathSampler sampler_;
+  PathSample path_;
+};
+
+}  // namespace
 
 KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
   SAPHYRA_CHECK(options.epsilon > 0.0 && options.epsilon < 1.0);
@@ -21,63 +78,34 @@ KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
   if (n < 2) return result;
 
   Rng rng(options.seed);
-  PathSampler sampler(g, /*arc_component=*/nullptr);
-  PathSample path;
-  std::vector<uint64_t> counts(n, 0);
-
   const double eps = options.epsilon;
-  const double c = options.vc_constant;
-  const uint64_t n0 = std::max<uint64_t>(
-      32, static_cast<uint64_t>(
-              std::ceil(c / (eps * eps) * std::log(2.0 / options.delta))));
-  const uint64_t omega = std::max(
-      n0, VcSampleBound(eps, options.delta, RiondatoVcBound(g), c));
-  const uint32_t rounds = static_cast<uint32_t>(std::max<double>(
-      1.0, std::ceil(std::log2(static_cast<double>(omega) /
-                               static_cast<double>(n0)))));
-  // Uniform failure-budget split: n nodes, two tails, `rounds` checks.
-  const double delta_v =
-      options.delta /
-      (2.0 * static_cast<double>(n) * static_cast<double>(rounds + 1));
+  const double vc = RiondatoVcBound(g);  // two BFS sweeps — compute once
+  KadabraProblem problem(g, options.strategy, vc);
+  const ProgressiveOptions schedule =
+      MakeVcCappedSchedule(eps, options.delta, vc, options.vc_constant,
+                           options.max_wave, options.num_threads);
 
-  uint64_t samples = 0;
-  uint64_t target = n0;
-  for (;;) {
-    while (samples < target) {
-      NodeId u = static_cast<NodeId>(rng.UniformInt(n));
-      NodeId v;
-      do {
-        v = static_cast<NodeId>(rng.UniformInt(n));
-      } while (v == u);
-      if (sampler.SampleUniformPath(u, v, kInvalidComp, options.strategy,
-                                    &rng, &path)) {
-        for (size_t i = 1; i + 1 < path.nodes.size(); ++i) {
-          ++counts[path.nodes[i]];
-        }
-      }
-      ++samples;  // unreachable pairs are zero-valued samples
-    }
-    ++result.epochs;
-    double worst = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      double var = BernoulliSampleVariance(counts[v], samples);
-      worst = std::max(worst,
-                       EmpiricalBernsteinEpsilon(samples, delta_v, var));
-      if (worst > eps) break;
-    }
-    if (worst <= eps) {
-      result.stopped_early = samples < omega;
-      break;
-    }
-    if (samples >= omega) break;
-    target = std::min(samples * 2, omega);
+  // The adaptive scheme of [12] with its union-bound bookkeeping
+  // simplified to uniform weights: δ split over n nodes, two tails, and
+  // the planned doubling checks (the rules own that split).
+  ProgressiveSampler sampler(&problem, schedule, &rng);
+  ProgressiveResult run;
+  if (options.top_k > 0 && options.top_k < n) {
+    TopKSeparationRule rule(options.top_k, options.delta, /*deltas=*/{},
+                            /*offsets=*/{}, /*scale=*/1.0);
+    run = sampler.Run(&rule);
+  } else {
+    EpsilonGuaranteeRule rule(eps, options.delta, n);
+    run = sampler.Run(&rule);
   }
 
+  const uint64_t samples = run.samples_used;
   for (NodeId v = 0; v < n; ++v) {
-    result.bc[v] =
-        static_cast<double>(counts[v]) / static_cast<double>(samples);
+    result.bc[v] = run.stats.mean(v);
   }
   result.samples_used = samples;
+  result.epochs = run.checks_used;
+  result.stopped_early = run.stopped_early;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

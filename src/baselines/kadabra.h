@@ -18,6 +18,18 @@ struct KadabraOptions {
   /// KADABRA's signature balanced bidirectional BFS; unidirectional kept
   /// for ablations.
   SamplingStrategy strategy = SamplingStrategy::kBidirectional;
+  /// Worker threads for path sampling (execution only — results are
+  /// bitwise identical for a fixed seed regardless of the thread count;
+  /// see core/progressive_sampler.h).
+  uint32_t num_threads = 1;
+  /// 0 = guaranteed-ε mode; >0 = stop once the top-k node set is
+  /// separated by the per-node confidence intervals. A top_k covering
+  /// every node (≥ num_nodes) is a full ranking in disguise and falls
+  /// back to ε mode.
+  uint64_t top_k = 0;
+  /// Samples per engine wave (0 = one wave per stopping check); batching
+  /// granularity only, never affects results.
+  uint64_t max_wave = 0;
 };
 
 /// \brief Output of KADABRA.
@@ -35,11 +47,14 @@ struct KadabraResult {
 ///
 /// Each sample draws a uniform ordered node pair, samples *one* uniform
 /// shortest path between them with a balanced bidirectional BFS, and
-/// increments the counters of the path's inner nodes. Sampling stops when
-/// per-node empirical-Bernstein deviations (failure budget split uniformly
-/// across nodes, both tails, and doubling epochs) all reach ε, or at the
-/// diameter-based VC cap of Riondato–Kornaropoulos — the adaptive scheme of
-/// [12] with its union-bound bookkeeping simplified to uniform weights.
+/// increments the counters of the path's inner nodes. Sampling runs on the
+/// shared progressive scheduler (core/progressive_sampler.h) and stops
+/// when per-node empirical-Bernstein deviations (failure budget split
+/// uniformly across nodes, both tails, and doubling epochs) all reach ε,
+/// or at the diameter-based VC cap of Riondato–Kornaropoulos — the
+/// adaptive scheme of [12] with its union-bound bookkeeping simplified to
+/// uniform weights. With `top_k` set the stop condition is instead
+/// confidence-interval separation of the k most-central nodes.
 KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options);
 
 }  // namespace saphyra

@@ -1,6 +1,8 @@
 #include "bc/saphyra_bc.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "bc/exact_subspace.h"
 #include "bc/vc_bc.h"
@@ -21,6 +23,7 @@ class SaphyraBcProblem : public HypothesisRankingProblem {
       : space_(space),
         options_(options),
         vc_bound_(vc_bound),
+        rejected_(std::make_shared<std::atomic<uint64_t>>(0)),
         // Component-view fast path: Gen_bc's restricted BFS runs on the
         // compact per-component CSR instead of filtering the global arcs.
         sampler_(space.isp().graph(), space.isp().views()) {}
@@ -52,7 +55,7 @@ class SaphyraBcProblem : public HypothesisRankingProblem {
                                            rng, &path);
       SAPHYRA_CHECK_MSG(ok, "nodes of one bi-component must be connected");
       if (options_.use_exact_subspace && InExactSubspace(space_, path.nodes)) {
-        ++rejected_;
+        rejected_->fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       break;
@@ -67,21 +70,26 @@ class SaphyraBcProblem : public HypothesisRankingProblem {
   double VcDimension() const override { return vc_bound_; }
 
   std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
-    // Clones share the (immutable) personalized space and options but own
-    // their BFS scratch via a fresh PathSampler; their ComputeExactRisks is
-    // never called. Rejection diagnostics are only tracked on the primary.
-    return std::make_unique<SaphyraBcProblem>(space_, options_, vc_bound_);
+    // Clones share the (immutable) personalized space, options and the
+    // rejection counter, but own their BFS scratch via a fresh
+    // PathSampler; their ComputeExactRisks is never called.
+    auto clone =
+        std::make_unique<SaphyraBcProblem>(space_, options_, vc_bound_);
+    clone->rejected_ = rejected_;
+    return clone;
   }
 
-  uint64_t rejected() const { return rejected_; }
+  uint64_t rejected() const {
+    return rejected_->load(std::memory_order_relaxed);
+  }
   double exact_seconds() const { return exact_seconds_; }
 
  private:
   const PersonalizedSpace& space_;
   const SaphyraBcOptions& options_;
   double vc_bound_;
+  std::shared_ptr<std::atomic<uint64_t>> rejected_;
   PathSampler sampler_;
-  uint64_t rejected_ = 0;
   double exact_seconds_ = 0.0;
 };
 
@@ -125,6 +133,16 @@ SaphyraBcResult RunSaphyraBc(const IspIndex& isp,
   fw.seed = options.seed;
   fw.min_initial_samples = options.min_initial_samples;
   fw.num_threads = options.num_threads;
+  fw.top_k = options.top_k;
+  fw.max_wave = options.max_wave;
+  if (options.top_k > 0) {
+    // b̃c(v) = bc_a(v) + γη·ℓ_v: separation must rank by the final bc, so
+    // the break-point mass enters the rule as an offset in ℓ units.
+    fw.top_k_offsets.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      fw.top_k_offsets[i] = isp.bca(targets[i]) / ge;
+    }
+  }
 
   Timer phase_timer;
   SaphyraBcProblem problem(space, options, vc.vc_bound);

@@ -28,9 +28,17 @@ struct SaphyraBcOptions {
   double vc_constant = 0.5;
   /// Floor on the initial sample size of the adaptive loop.
   uint64_t min_initial_samples = 32;
-  /// Worker threads for sample generation (1 = serial). Deterministic for
-  /// a fixed (seed, num_threads) pair.
+  /// Worker threads for sample generation (execution only — results are
+  /// bitwise identical for a fixed seed regardless of the thread count;
+  /// see core/progressive_sampler.h).
   uint32_t num_threads = 1;
+  /// 0 = guaranteed-ε mode; >0 = top-k mode: sampling stops as soon as
+  /// the k highest b̃c estimates are separated from the rest by their
+  /// confidence intervals (per-node δ allocation from the pilot).
+  uint64_t top_k = 0;
+  /// Samples per engine wave (0 = one wave per stopping check); batching
+  /// granularity only, never affects results.
+  uint64_t max_wave = 0;
 };
 
 /// \brief Output of SaPHyRa_bc.

@@ -3,21 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/sample_engine.h"
+#include "core/progressive_sampler.h"
 #include "stats/delta_allocation.h"
 #include "stats/empirical_bernstein.h"
 #include "stats/vc.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace saphyra {
 
+void HypothesisRankingProblem::SampleWeightedLosses(
+    Rng* rng, std::vector<WeightedHit>* hits) {
+  (void)rng;
+  (void)hits;
+  SAPHYRA_CHECK_MSG(false,
+                    "SampleWeightedLosses called on a 0/1-loss problem");
+}
+
 namespace {
 
-/// Multi-threaded runs execute on the persistent process-wide pool; serial
-/// runs bypass it entirely (SampleEngine runs inline on a null pool).
-ThreadPool* PoolFor(const SaphyraOptions& options) {
-  return options.num_threads > 1 ? &SharedThreadPool() : nullptr;
+ProgressiveOptions ScheduleFor(const SaphyraOptions& options, uint64_t n0,
+                               uint64_t n_max) {
+  ProgressiveOptions schedule;
+  schedule.initial_samples = n0;
+  schedule.max_samples = n_max;
+  schedule.growth = 2.0;  // Algorithm 1's doubling schedule
+  schedule.max_wave = options.max_wave;
+  schedule.num_threads = options.num_threads;
+  return schedule;
 }
 
 }  // namespace
@@ -65,54 +77,64 @@ SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
   n_max = std::max(n_max, n0);
   result.max_samples = n_max;
 
-  const uint32_t rounds = static_cast<uint32_t>(std::max<double>(
-      1.0, std::ceil(std::log2(static_cast<double>(n_max) /
-                               static_cast<double>(n0)))));
-
   // Pilot phase (§III-C): estimate variances on an independent stream and
-  // allocate per-hypothesis failure probabilities (Eq. 13).
-  SampleEngine pilot_engine(problem, options.num_threads, &pilot_rng,
-                            PoolFor(options));
-  std::vector<uint64_t> pilot_counts(k, 0);
-  pilot_engine.Draw(0, n0, &pilot_counts);
-  result.pilot_samples = n0;
+  // allocate per-hypothesis failure probabilities (Eq. 13). A fixed-budget
+  // progressive run of exactly n0 samples.
   std::vector<double> pilot_vars(k);
-  for (size_t i = 0; i < k; ++i) {
-    pilot_vars[i] = BernoulliSampleVariance(pilot_counts[i], n0);
+  {
+    ProgressiveSampler pilot(problem, ScheduleFor(options, n0, n0),
+                             &pilot_rng);
+    FixedBudgetRule pilot_rule;
+    ProgressiveResult pilot_run = pilot.Run(&pilot_rule);
+    result.pilot_samples = pilot_run.samples_used;
+    for (size_t i = 0; i < k; ++i) {
+      pilot_vars[i] = pilot_run.stats.sample_variance(i);
+    }
   }
-  const double delta_budget = options.delta / static_cast<double>(rounds);
+  // The δ budget must be split over exactly the checkpoints the main
+  // sampler will evaluate, so the growth factor comes from the schedule
+  // itself rather than a second literal that could drift.
+  const ProgressiveOptions main_schedule = ScheduleFor(options, n0, n_max);
+  const uint32_t checks =
+      PlannedChecks(n0, n_max, main_schedule.growth);
+  const double delta_budget = options.delta / static_cast<double>(checks);
   std::vector<double> deltas =
       AllocateDeltas(pilot_vars, eps_prime, delta_budget, n0, n_max);
 
-  // Main adaptive loop (lines 10-18): double N until every hypothesis meets
-  // ε′ by the empirical Bernstein bound, or until the VC cap Nmax (at which
-  // point Lemma 4 supplies the guarantee unconditionally).
-  SampleEngine engine(problem, options.num_threads, &rng, PoolFor(options));
-  std::vector<uint64_t> counts(k, 0);
-  uint64_t n = 0;
-  uint64_t target = n0;
-  for (uint32_t rd = 0; rd < rounds + 1; ++rd) {
-    n = engine.Draw(n, target, &counts);
-    ++result.rounds_used;
-    double worst = 0.0;
-    for (size_t i = 0; i < k; ++i) {
-      double var = BernoulliSampleVariance(counts[i], n);
-      worst = std::max(worst, EmpiricalBernsteinEpsilon(n, deltas[i], var));
-      if (worst > eps_prime) break;  // already failed this round
+  // Main adaptive loop (lines 10-18) on the shared progressive scheduler:
+  // grow N geometrically until the stopping rule fires or the VC cap Nmax
+  // is reached (at which point Lemma 4 supplies the guarantee
+  // unconditionally). ε-mode checks the empirical Bernstein bound per
+  // hypothesis; top-k mode checks confidence-interval separation of the k
+  // best combined estimates.
+  ProgressiveSampler sampler(problem, main_schedule, &rng);
+  ProgressiveResult run;
+  // A top-k covering every hypothesis is a full ranking in disguise:
+  // route it to the ε rule rather than to a vacuous separation check.
+  if (options.top_k > 0 && options.top_k < k) {
+    // Separation is evaluated on the full combined estimate: the exact-
+    // subspace risks plus any external per-hypothesis mass the frontend
+    // adds after this run, all in combined-risk units.
+    std::vector<double> offsets = result.exact_risks;
+    if (!options.top_k_offsets.empty()) {
+      SAPHYRA_CHECK(options.top_k_offsets.size() == k);
+      for (size_t i = 0; i < k; ++i) offsets[i] += options.top_k_offsets[i];
     }
-    if (worst <= eps_prime) {
-      result.stopped_early = (n < n_max);
-      break;
-    }
-    if (n >= n_max) break;
-    target = std::min(n * 2, n_max);
+    TopKSeparationRule rule(options.top_k, options.delta, std::move(deltas),
+                            std::move(offsets), lambda);
+    run = sampler.Run(&rule);
+  } else {
+    EpsilonGuaranteeRule rule(eps_prime, std::move(deltas));
+    run = sampler.Run(&rule);
   }
-  result.samples_used = n;
+  result.samples_used = run.samples_used;
+  result.rounds_used = run.checks_used;
+  result.waves_used = run.waves_used;
+  result.stopped_early = run.stopped_early;
 
   // Lines 19-21: combine.
   for (size_t i = 0; i < k; ++i) {
-    result.approx_risks[i] =
-        static_cast<double>(counts[i]) / static_cast<double>(n);
+    result.approx_risks[i] = run.stats.mean(i);
     result.combined_risks[i] =
         result.exact_risks[i] + lambda * result.approx_risks[i];
   }
@@ -137,14 +159,15 @@ SaphyraResult RunDirectEstimation(HypothesisRankingProblem* problem,
       std::max(options.min_initial_samples,
                VcSampleBound(options.epsilon, options.delta,
                              problem->VcDimension(), options.vc_constant));
-  std::vector<uint64_t> counts(k, 0);
-  SampleEngine engine(problem, options.num_threads, &rng, PoolFor(options));
-  engine.Draw(0, n, &counts);
-  result.samples_used = result.max_samples = n;
-  result.rounds_used = 1;
+  // One fixed-budget schedule: a single checkpoint at the VC bound.
+  ProgressiveSampler sampler(problem, ScheduleFor(options, n, n), &rng);
+  FixedBudgetRule rule;
+  ProgressiveResult run = sampler.Run(&rule);
+  result.samples_used = result.max_samples = run.samples_used;
+  result.rounds_used = run.checks_used;
+  result.waves_used = run.waves_used;
   for (size_t i = 0; i < k; ++i) {
-    result.approx_risks[i] =
-        static_cast<double>(counts[i]) / static_cast<double>(n);
+    result.approx_risks[i] = run.stats.mean(i);
     result.combined_risks[i] = result.approx_risks[i];
   }
   return result;

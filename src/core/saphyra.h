@@ -22,6 +22,14 @@
 
 namespace saphyra {
 
+/// \brief One weighted loss observation: hypothesis `index` incurred loss
+/// `value` ∈ [0, 1] on the current sample. Used by problems whose losses
+/// are fractional rather than 0/1 (e.g. ABRA's σ_uv(w)/σ_uv credits).
+struct WeightedHit {
+  uint32_t index;
+  double value;
+};
+
 /// \brief A hypothesis-ranking problem with a partitioned sample space
 /// (§III of the paper).
 ///
@@ -55,13 +63,28 @@ class HypothesisRankingProblem {
   /// \brief Upper bound on VC(H) (e.g. Lemma 5 / Corollary 22).
   virtual double VcDimension() const = 0;
 
+  /// \brief Losses restricted to {0,1}? Problems with fractional losses in
+  /// [0, 1] (ABRA-style dependency credits) return true and implement
+  /// SampleWeightedLosses instead of SampleApproxLosses; the sampling
+  /// engine then also tracks per-hypothesis loss sums and sums of squares.
+  virtual bool has_weighted_losses() const { return false; }
+
+  /// \brief Weighted counterpart of SampleApproxLosses: draw x ~ D̃ and
+  /// append {i, L(h_i(x), f(x))} for every hypothesis with positive loss.
+  /// Only called when has_weighted_losses() is true.
+  virtual void SampleWeightedLosses(Rng* rng, std::vector<WeightedHit>* hits);
+
   /// \brief Optional: an independent sampling clone for one worker thread.
   ///
   /// Samples are i.i.d., so generation parallelizes trivially — the paper
   /// notes its framework "can be potentially combined with parallel and
   /// distributed methods". A clone must draw from the same distribution D̃
   /// but own its scratch state (BFS buffers etc.). Return nullptr (the
-  /// default) to keep the run single-threaded.
+  /// default) to keep the run single-threaded. Clonability must be
+  /// all-or-nothing: once a clone has been handed out, later calls must
+  /// keep succeeding — the sampling engine sizes its deterministic RNG
+  /// stream partition off the first probe, so a mid-run nullptr is a
+  /// hard error rather than a degrade.
   virtual std::unique_ptr<HypothesisRankingProblem> CloneForSampling() {
     return nullptr;
   }
@@ -82,13 +105,30 @@ struct SaphyraOptions {
   /// Lower bound on the initial sample size, so the adaptive loop has a
   /// meaningful variance estimate even when ε′ is huge.
   uint64_t min_initial_samples = 32;
-  /// Logical sampling workers (1 = serial). Parallel runs need the problem
-  /// to implement CloneForSampling and execute on the persistent
-  /// SharedThreadPool (no threads are spawned per round); they are
-  /// bitwise-deterministic for a fixed (seed, num_threads) pair regardless
-  /// of the pool size, but differ from the serial stream (see
-  /// core/sample_engine.h).
+  /// Worker threads for sample generation (1 = serial, running inline on
+  /// the caller's thread; >1 executes on the persistent SharedThreadPool).
+  /// Purely an execution choice: the logical sampling streams are striped
+  /// over a fixed number of RNG stripes, so results are bitwise identical
+  /// for a given seed regardless of num_threads (see
+  /// core/progressive_sampler.h, "Determinism").
   uint32_t num_threads = 1;
+  /// 0 = guaranteed-ε mode (stop when every hypothesis meets ε′ by the
+  /// empirical Bernstein bound). >0 = top-k mode: stop as soon as the k
+  /// highest combined estimates are separated from the rest by their
+  /// confidence half-widths (per-hypothesis δ allocation as in Eq. 13);
+  /// the ε budget then only caps the sample schedule via the VC bound.
+  uint64_t top_k = 0;
+  /// Optional per-hypothesis additive constants (in combined-risk units)
+  /// applied when evaluating top-k separation — exact mass the frontend
+  /// adds *outside* this framework run, e.g. SaPHyRa_bc's break-point
+  /// term bc_a(v)/(γη). Empty = no external offsets. Constants shift the
+  /// estimates, not their confidence widths, so separation decisions
+  /// match the frontend's final ranking.
+  std::vector<double> top_k_offsets;
+  /// Cap on the number of samples per engine wave (0 = one wave per
+  /// stopping-rule checkpoint). Batching granularity only — never affects
+  /// results (see the ProgressiveSampler determinism contract).
+  uint64_t max_wave = 0;
 };
 
 /// \brief Diagnostics and output of Algorithm 1.
@@ -107,8 +147,10 @@ struct SaphyraResult {
   uint64_t pilot_samples = 0;
   uint64_t samples_used = 0;   ///< N of the main estimation loop
   uint64_t max_samples = 0;    ///< Nmax from the VC bound
-  uint32_t rounds_used = 0;
-  /// True if the empirical-Bernstein check triggered before Nmax.
+  uint32_t rounds_used = 0;    ///< stopping-rule checkpoints evaluated
+  uint32_t waves_used = 0;     ///< engine batches drawn (≥ rounds_used)
+  /// True if the stopping rule (Bernstein ε-guarantee, or top-k
+  /// separation in top-k mode) triggered before Nmax.
   bool stopped_early = false;
 };
 

@@ -1,0 +1,181 @@
+// Statistical correctness of the adaptive stopping machinery, checked
+// against exact Brandes betweenness on a sweep of small seeded random
+// graphs: ε-mode estimates must stay within ε for at least a (1−δ)
+// fraction of nodes on every graph (the guarantee is per-run over *all*
+// nodes with probability 1−δ, so the per-node fraction bound is strictly
+// weaker and robust to the rare allowed failure), and top-k mode must
+// return the true top-k on graphs whose scores are well separated.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kadabra.h"
+#include "bc/brandes.h"
+#include "bc/saphyra_bc.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::MakeGraph;
+using testing::RandomConnectedGraph;
+
+constexpr double kEps = 0.05;
+constexpr double kDelta = 0.1;
+constexpr int kNumGraphs = 20;
+
+TEST(AdaptiveGuarantee, SaphyraBcEpsilonModeWithinEpsilonOfBrandes) {
+  for (int t = 0; t < kNumGraphs; ++t) {
+    Graph g = RandomConnectedGraph(25 + t, 0.06 + 0.002 * t, 100 + t);
+    std::vector<double> truth = BrandesBetweenness(g);
+    IspIndex isp(g);
+    SaphyraBcOptions opts;
+    opts.epsilon = kEps;
+    opts.delta = kDelta;
+    opts.seed = 500 + t;
+    SaphyraBcResult res = RunSaphyraBcFull(isp, opts);
+    NodeId within = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (std::abs(res.bc[v] - truth[v]) < kEps) ++within;
+    }
+    EXPECT_GE(within, static_cast<NodeId>(
+                          std::ceil((1.0 - kDelta) * g.num_nodes())))
+        << "graph " << t << ": " << (g.num_nodes() - within) << "/"
+        << g.num_nodes() << " nodes off by >= " << kEps;
+  }
+}
+
+TEST(AdaptiveGuarantee, KadabraEpsilonModeWithinEpsilonOfBrandes) {
+  for (int t = 0; t < kNumGraphs; ++t) {
+    Graph g = RandomConnectedGraph(24 + t, 0.08, 300 + t);
+    std::vector<double> truth = BrandesBetweenness(g);
+    KadabraOptions opts;
+    opts.epsilon = kEps;
+    opts.delta = kDelta;
+    opts.seed = 700 + t;
+    KadabraResult res = RunKadabra(g, opts);
+    NodeId within = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (std::abs(res.bc[v] - truth[v]) < kEps) ++within;
+    }
+    EXPECT_GE(within, static_cast<NodeId>(
+                          std::ceil((1.0 - kDelta) * g.num_nodes())))
+        << "graph " << t;
+  }
+}
+
+/// A "double star": two hubs joined by an edge, each carrying many leaves.
+/// The hubs' betweenness dwarfs everything else (leaves are exact zeros),
+/// so the true top-2 is unambiguous and widely separated. Every edge is a
+/// bridge: SaPHyRa_bc resolves this graph entirely in closed form.
+Graph DoubleStar(NodeId leaves_per_hub) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId hub_a = 0, hub_b = 1;
+  edges.push_back({hub_a, hub_b});
+  NodeId next = 2;
+  for (NodeId i = 0; i < leaves_per_hub; ++i) {
+    edges.push_back({hub_a, next++});
+    edges.push_back({hub_b, next++});
+  }
+  return MakeGraph(next, edges);
+}
+
+/// A "theta" graph: gateways s=0 and t=1 joined through m parallel
+/// 2-paths. The whole graph is one biconnected component (no bridges, no
+/// cutpoints), so ranking it genuinely exercises the sampled subspace —
+/// and bc(s) = bc(t) = m(m−1)/2 ≫ bc(middle) = 2/m (unnormalized), a
+/// wide true separation of the top 2.
+Graph ThetaGraph(NodeId num_middles) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId next = 2;
+  for (NodeId i = 0; i < num_middles; ++i) {
+    edges.push_back({0, next});
+    edges.push_back({1, next});
+    ++next;
+  }
+  return MakeGraph(next, edges);
+}
+
+std::set<NodeId> TrueTopK(const std::vector<double>& truth, size_t k) {
+  std::vector<NodeId> order(truth.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<NodeId>(i);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return truth[a] > truth[b];
+  });
+  return {order.begin(), order.begin() + k};
+}
+
+std::set<NodeId> EstimatedTopK(const std::vector<double>& est,
+                               const std::vector<NodeId>& ids, size_t k) {
+  std::vector<size_t> order(est.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return est[a] > est[b]; });
+  std::set<NodeId> out;
+  for (size_t i = 0; i < k; ++i) out.insert(ids[order[i]]);
+  return out;
+}
+
+TEST(AdaptiveGuarantee, SaphyraBcTopKModeFindsTrueTopKOnSeparatedGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    // Alternate between the all-exact construction (bridges only) and the
+    // all-sampled one (a single biconnected component).
+    Graph g = (seed % 2 == 0) ? DoubleStar(8 + 2 * seed)
+                              : ThetaGraph(8 + 2 * seed);
+    std::vector<double> truth = BrandesBetweenness(g);
+    IspIndex isp(g);
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    SaphyraBcOptions opts;
+    opts.epsilon = 0.1;
+    opts.delta = 0.05;
+    opts.seed = 40 + seed;
+    opts.top_k = 2;
+    SaphyraBcResult res = RunSaphyraBc(isp, all, opts);
+    EXPECT_EQ(EstimatedTopK(res.bc, all, 2), TrueTopK(truth, 2))
+        << "seed " << seed;
+  }
+}
+
+TEST(AdaptiveGuarantee, KadabraTopKModeFindsTrueTopKOnSeparatedGraphs) {
+  for (uint64_t seed : {5u, 6u, 7u, 8u}) {
+    Graph g = DoubleStar(7 + seed);
+    std::vector<double> truth = BrandesBetweenness(g);
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    KadabraOptions opts;
+    opts.epsilon = 0.1;
+    opts.delta = 0.05;
+    opts.seed = 60 + seed;
+    opts.top_k = 2;
+    KadabraResult res = RunKadabra(g, opts);
+    EXPECT_EQ(EstimatedTopK(res.bc, all, 2), TrueTopK(truth, 2))
+        << "seed " << seed;
+  }
+}
+
+TEST(AdaptiveGuarantee, TopKModeUsesFewerSamplesThanEpsilonMode) {
+  // The point of top-k mode: separation of well-split scores needs far
+  // fewer samples than a uniform ε guarantee at the same budget cap.
+  Graph g = DoubleStar(12);
+  IspIndex isp(g);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  SaphyraBcOptions eps_mode;
+  eps_mode.epsilon = 0.02;
+  eps_mode.delta = 0.05;
+  eps_mode.seed = 9;
+  SaphyraBcOptions topk_mode = eps_mode;
+  topk_mode.top_k = 2;
+  SaphyraBcResult a = RunSaphyraBc(isp, all, eps_mode);
+  SaphyraBcResult b = RunSaphyraBc(isp, all, topk_mode);
+  EXPECT_LE(b.samples_used, a.samples_used);
+}
+
+}  // namespace
+}  // namespace saphyra

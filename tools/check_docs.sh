@@ -20,4 +20,27 @@ if ! grep -qF "$tier1" "$REPO_ROOT/README.md"; then
   exit 1
 fi
 
-echo "check_docs: README.md matches ROADMAP.md tier-1 verify line"
+# The user-facing accuracy/mode flags of saphyra_rank are pinned in both
+# directions: they must stay documented in README.md, and the tool must
+# keep accepting the documented spellings.
+for flag in --epsilon --delta --topk; do
+  if ! grep -qF -- "$flag" "$REPO_ROOT/README.md"; then
+    echo "check_docs: README.md no longer documents the $flag flag" >&2
+    exit 1
+  fi
+  if ! grep -qF -- "\"$flag\"" "$REPO_ROOT/tools/saphyra_rank.cc"; then
+    echo "check_docs: tools/saphyra_rank.cc no longer parses $flag" >&2
+    exit 1
+  fi
+done
+
+# The tracked benchmark metrics must stay documented.
+for metric in adaptive_sample_reduction path_sampling_speedup; do
+  if ! grep -qF "$metric" "$REPO_ROOT/README.md"; then
+    echo "check_docs: README.md no longer documents the $metric metric" >&2
+    exit 1
+  fi
+done
+
+echo "check_docs: README.md matches ROADMAP.md tier-1 verify line," \
+     "rank flags and benchmark metrics"

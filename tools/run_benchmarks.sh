@@ -3,7 +3,10 @@
 #
 # Outputs (in the current directory):
 #   BENCH_micro.json        — optimization speedup ratios (machine-readable;
-#                             path_sampling_speedup is the tracked metric)
+#                             path_sampling_speedup is the tracked perf
+#                             metric, adaptive_sample_reduction the tracked
+#                             sample-cost metric: adaptive stopping vs. the
+#                             fixed VC budget at equal ε)
 #   BENCH_micro_gbench.json — full Google-benchmark results
 #
 # Usage: tools/run_benchmarks.sh [extra gbench args...]
