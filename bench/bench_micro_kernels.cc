@@ -27,6 +27,7 @@
 #include "graph/bfs.h"
 #include "graph/binary_io.h"
 #include "graph/io.h"
+#include "seed_bfs.h"
 #include "seed_path_sampler.h"
 #include "util/thread_pool.h"
 
@@ -52,6 +53,14 @@ const Graph& RoadFixture() {
   return g;
 }
 
+// Near-complete lattice: one giant biconnected block, the dense-frontier
+// regime for component-restricted sampling on road-like inputs (the
+// `path_sampling_grid` scenario of ISSUE 4).
+const Graph& GridFixture() {
+  static Graph g = RoadGrid(140, 110, 0.97, 905).graph;
+  return g;
+}
+
 const IspIndex& SocialIsp() {
   static IspIndex isp(SocialFixture());
   return isp;
@@ -64,6 +73,11 @@ const IspIndex& LeafySocialIsp() {
 
 const IspIndex& RoadIsp() {
   static IspIndex isp(RoadFixture());
+  return isp;
+}
+
+const IspIndex& GridIsp() {
+  static IspIndex isp(GridFixture());
   return isp;
 }
 
@@ -139,6 +153,53 @@ Speedup MeasurePathSampling(const char* key, const IspIndex& isp,
   for (int r = 0; r < 5; ++r) {
     base = std::min(base, TimeGenBcOnce(seed_sampler, triples, seed + 1));
     opt = std::min(opt, TimeGenBcOnce(view, triples, seed + 1));
+  }
+  return {key, base, opt};
+}
+
+/// Full σ-counting BFS: the seed's allocate-per-call top-down kernel
+/// (bench/seed_bfs.h) vs. the production direction-optimizing BfsKernel
+/// (reused scratch, top-down/bottom-up switching). This is the
+/// Brandes-forward-pass shape. `bfs_hybrid_speedup` — the tracked
+/// acceptance metric — runs on the dense-frontier regime (the social
+/// fixture), which is where direction switching pays: its mid-BFS levels
+/// carry most of the arc mass, so the pull skips the bulk of the push's
+/// work. The road/grid fixtures are the no-regression guards: a
+/// Θ(width+height)-diameter lattice never develops a frontier dense
+/// enough to clear the switch threshold (the kernel's pull counter stays
+/// at zero there), so they measure pure kernel overhead, and the
+/// road-side payoff of this refactor shows up in the path-sampling
+/// scenarios instead (see DESIGN.md, "Direction-optimizing traversal").
+Speedup MeasureBfsHybrid(const char* key, const Graph& g, size_t sources,
+                         uint64_t seed) {
+  std::vector<NodeId> srcs;
+  Rng rng(seed);
+  for (size_t i = 0; i < sources; ++i) {
+    srcs.push_back(static_cast<NodeId>(rng.UniformInt(g.num_nodes())));
+  }
+  BfsKernel kernel(g, TraversalPolicy::kHybrid);
+  auto time_seed = [&]() {
+    Timer timer;
+    for (NodeId s : srcs) {
+      SpDag dag = SeedBfsWithCounts(g, s);
+      benchmark::DoNotOptimize(dag.sigma[srcs[0]]);
+    }
+    return timer.ElapsedSeconds();
+  };
+  auto time_kernel = [&]() {
+    Timer timer;
+    for (NodeId s : srcs) {
+      kernel.Run(s);
+      benchmark::DoNotOptimize(kernel.sigma(srcs[0]));
+    }
+    return timer.ElapsedSeconds();
+  };
+  time_seed();  // warmup
+  time_kernel();
+  double base = 1e100, opt = 1e100;
+  for (int r = 0; r < 5; ++r) {
+    base = std::min(base, time_seed());
+    opt = std::min(opt, time_kernel());
   }
   return {key, base, opt};
 }
@@ -383,6 +444,16 @@ void RunSpeedupSuite(const std::string& json_path) {
                                         LeafySocialIsp(), 30000, 43));
   results.push_back(
       MeasurePathSampling("path_sampling_road", RoadIsp(), 4000, 44));
+  results.push_back(
+      MeasurePathSampling("path_sampling_grid", GridIsp(), 2000, 45));
+  // Direction-optimizing BFS kernel: `bfs_hybrid` (the gated
+  // dense-frontier scenario, emitted as bfs_hybrid_speedup) plus the
+  // road/grid no-regression guards.
+  results.push_back(MeasureBfsHybrid("bfs_hybrid", SocialFixture(), 60, 46));
+  results.push_back(
+      MeasureBfsHybrid("bfs_hybrid_road", RoadFixture(), 60, 47));
+  results.push_back(
+      MeasureBfsHybrid("bfs_hybrid_grid", GridFixture(), 60, 48));
   results.push_back(MeasurePooledEngine());
   results.push_back(MeasureBinaryLoad());
   results.push_back(MeasureCachedPreprocess());
@@ -466,6 +537,26 @@ void BM_BfsWithCountsNoopFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsWithCountsNoopFilter);
+
+// The reusable direction-optimizing kernel, forced to each policy.
+// Arg(0)=social, Arg(1)=road, Arg(2)=grid. CI's bench smoke step runs
+// these for one iteration so kernel bit-rot fails fast.
+template <TraversalPolicy policy>
+void BM_BfsKernel(benchmark::State& state) {
+  const Graph& g = state.range(0) == 0   ? SocialFixture()
+                   : state.range(0) == 1 ? RoadFixture()
+                                         : GridFixture();
+  BfsKernel kernel(g, policy);
+  Rng rng(6);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    kernel.Run(s);
+    benchmark::DoNotOptimize(kernel.sigma(s));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BfsKernel<TraversalPolicy::kTopDown>)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_BfsKernel<TraversalPolicy::kHybrid>)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BiconnectedDecomposition(benchmark::State& state) {
   const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();

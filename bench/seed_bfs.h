@@ -1,0 +1,47 @@
+#ifndef SAPHYRA_BENCH_SEED_BFS_H_
+#define SAPHYRA_BENCH_SEED_BFS_H_
+
+// Frozen copy of the seed's σ-counting BFS (the pre-direction-optimizing
+// BfsWithCounts): allocate-and-memset result arrays per call, pure
+// top-down expansion off an implicit queue. The `bfs_hybrid_*` speedup
+// kernels in bench_micro_kernels.cc measure the production BfsKernel
+// (epoch-reset scratch + top-down/bottom-up switching) against this
+// baseline, the same before/after discipline as seed_path_sampler.h. Do
+// not "fix" or modernize this file — its value is being frozen.
+
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+
+namespace saphyra {
+namespace bench {
+
+inline SpDag SeedBfsWithCounts(const Graph& g, NodeId source) {
+  SpDag r;
+  r.dist.assign(g.num_nodes(), kUnreachable);
+  r.sigma.assign(g.num_nodes(), 0.0);
+  r.order.reserve(g.num_nodes());
+  r.dist[source] = 0;
+  r.sigma[source] = 1.0;
+  r.order.push_back(source);
+  for (size_t head = 0; head < r.order.size(); ++head) {
+    NodeId u = r.order[head];
+    uint32_t du = r.dist[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (r.dist[v] == kUnreachable) {
+        r.dist[v] = du + 1;
+        r.order.push_back(v);
+      }
+      if (r.dist[v] == du + 1) {
+        r.sigma[v] += r.sigma[u];
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace bench
+}  // namespace saphyra
+
+#endif  // SAPHYRA_BENCH_SEED_BFS_H_

@@ -23,11 +23,14 @@ namespace {
 /// draw over its logical workers.
 class KadabraProblem : public HypothesisRankingProblem {
  public:
-  KadabraProblem(const Graph& g, SamplingStrategy strategy, double vc_bound)
+  KadabraProblem(const Graph& g, SamplingStrategy strategy,
+                 TraversalPolicy traversal, double vc_bound)
       : g_(g),
         strategy_(strategy),
         vc_bound_(vc_bound),
-        sampler_(g, /*arc_component=*/nullptr) {}
+        sampler_(g, /*arc_component=*/nullptr) {
+    sampler_.set_traversal(traversal);
+  }
 
   size_t num_hypotheses() const override { return g_.num_nodes(); }
 
@@ -56,7 +59,8 @@ class KadabraProblem : public HypothesisRankingProblem {
   double VcDimension() const override { return vc_bound_; }
 
   std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
-    return std::make_unique<KadabraProblem>(g_, strategy_, vc_bound_);
+    return std::make_unique<KadabraProblem>(g_, strategy_,
+                                            sampler_.traversal(), vc_bound_);
   }
 
  private:
@@ -80,7 +84,7 @@ KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
   Rng rng(options.seed);
   const double eps = options.epsilon;
   const double vc = RiondatoVcBound(g);  // two BFS sweeps — compute once
-  KadabraProblem problem(g, options.strategy, vc);
+  KadabraProblem problem(g, options.strategy, options.traversal, vc);
   const ProgressiveOptions schedule =
       MakeVcCappedSchedule(eps, options.delta, vc, options.vc_constant,
                            options.max_wave, options.num_threads);

@@ -18,6 +18,10 @@ struct KadabraOptions {
   /// KADABRA's signature balanced bidirectional BFS; unidirectional kept
   /// for ablations.
   SamplingStrategy strategy = SamplingStrategy::kBidirectional;
+  /// BFS level-expansion policy (graph/frontier.h): kAuto/kHybrid use the
+  /// direction-optimizing kernel, kTopDown the classic push. Results are
+  /// bitwise identical either way.
+  TraversalPolicy traversal = TraversalPolicy::kAuto;
   /// Worker threads for path sampling (execution only — results are
   /// bitwise identical for a fixed seed regardless of the thread count;
   /// see core/progressive_sampler.h).

@@ -13,35 +13,25 @@ namespace saphyra {
 namespace {
 
 /// One source's dependency accumulation into `acc` (unnormalized).
-void AccumulateSource(const Graph& g, NodeId s, std::vector<uint32_t>* dist,
-                      std::vector<double>* sigma, std::vector<double>* delta,
-                      std::vector<NodeId>* order, std::vector<double>* acc) {
-  // Forward BFS computing σ and visit order.
-  std::fill(dist->begin(), dist->end(), kUnreachable);
-  std::fill(sigma->begin(), sigma->end(), 0.0);
-  order->clear();
-  (*dist)[s] = 0;
-  (*sigma)[s] = 1.0;
-  order->push_back(s);
-  for (size_t head = 0; head < order->size(); ++head) {
-    NodeId u = (*order)[head];
-    uint32_t du = (*dist)[u];
-    for (NodeId v : g.neighbors(u)) {
-      if ((*dist)[v] == kUnreachable) {
-        (*dist)[v] = du + 1;
-        order->push_back(v);
-      }
-      if ((*dist)[v] == du + 1) (*sigma)[v] += (*sigma)[u];
-    }
-  }
+///
+/// The forward pass runs on the shared direction-optimizing BfsKernel
+/// (graph/bfs.h): epoch-reset scratch instead of per-source O(n) fills,
+/// and dense levels expanded bottom-up. The reverse sweep walks the
+/// kernel's order backwards — it only relies on the non-decreasing
+/// distance grouping, which both expansion directions preserve.
+void AccumulateSource(const Graph& g, NodeId s, BfsKernel* kernel,
+                      std::vector<double>* delta, std::vector<double>* acc) {
+  kernel->Run(s);
+  const std::span<const NodeId> order = kernel->order();
   // Reverse accumulation: δ_s(v) = Σ_{w: v pred of w} σ(v)/σ(w) (1 + δ(w)).
-  for (NodeId v : *order) (*delta)[v] = 0.0;
-  for (size_t i = order->size(); i-- > 1;) {  // skip the source itself
-    NodeId w = (*order)[i];
-    double coeff = (1.0 + (*delta)[w]) / (*sigma)[w];
+  for (NodeId v : order) (*delta)[v] = 0.0;
+  for (size_t i = order.size(); i-- > 1;) {  // skip the source itself
+    NodeId w = order[i];
+    const uint32_t dw = kernel->dist(w);
+    double coeff = (1.0 + (*delta)[w]) / kernel->sigma(w);
     for (NodeId v : g.neighbors(w)) {
-      if ((*dist)[v] + 1 == (*dist)[w]) {
-        (*delta)[v] += (*sigma)[v] * coeff;
+      if (kernel->dist(v) + 1 == dw) {
+        (*delta)[v] += kernel->sigma(v) * coeff;
       }
     }
     if (w != s) (*acc)[w] += (*delta)[w];
@@ -56,22 +46,22 @@ void Normalize(const Graph& g, std::vector<double>* bc) {
 
 }  // namespace
 
-std::vector<double> BrandesBetweenness(const Graph& g) {
+std::vector<double> BrandesBetweenness(const Graph& g,
+                                       TraversalPolicy policy) {
   const NodeId n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
-  std::vector<uint32_t> dist(n);
-  std::vector<double> sigma(n), delta(n, 0.0);
-  std::vector<NodeId> order;
-  order.reserve(n);
+  BfsKernel kernel(g, policy);
+  std::vector<double> delta(n, 0.0);
   for (NodeId s = 0; s < n; ++s) {
-    AccumulateSource(g, s, &dist, &sigma, &delta, &order, &bc);
+    AccumulateSource(g, s, &kernel, &delta, &bc);
   }
   Normalize(g, &bc);
   return bc;
 }
 
 std::vector<double> ParallelBrandesBetweenness(const Graph& g,
-                                               size_t num_threads) {
+                                               size_t num_threads,
+                                               TraversalPolicy policy) {
   const NodeId n = g.num_nodes();
   // Default runs source-parallelize over the persistent process-wide pool;
   // an explicit thread count gets a dedicated pool of that size.
@@ -86,14 +76,12 @@ std::vector<double> ParallelBrandesBetweenness(const Graph& g,
   std::atomic<NodeId> cursor{0};
   for (size_t w = 0; w < workers; ++w) {
     pool.Submit([&, w] {
-      std::vector<uint32_t> dist(n);
-      std::vector<double> sigma(n), delta(n, 0.0);
-      std::vector<NodeId> order;
-      order.reserve(n);
+      BfsKernel kernel(g, policy);
+      std::vector<double> delta(n, 0.0);
       for (;;) {
         NodeId s = cursor.fetch_add(1);
         if (s >= n) break;
-        AccumulateSource(g, s, &dist, &sigma, &delta, &order, &partial[w]);
+        AccumulateSource(g, s, &kernel, &delta, &partial[w]);
       }
     });
   }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/frontier.h"
 #include "graph/graph.h"
 
 namespace saphyra {
@@ -14,8 +15,11 @@ namespace saphyra {
 ///   bc(v) = 1/(n(n−1)) · Σ_{s≠v≠t} σ_st(v)/σ_st   (ordered pairs).
 /// O(nm) time, O(n) space per source. This is the ground-truth oracle the
 /// paper obtained from a Cray XC40; here it bounds the graph sizes usable
-/// in correlation experiments.
-std::vector<double> BrandesBetweenness(const Graph& g);
+/// in correlation experiments. The forward pass runs on the
+/// direction-optimizing BfsKernel; `policy` forces a direction (dist/σ are
+/// policy-independent, and δ only in the last ulp via level ordering).
+std::vector<double> BrandesBetweenness(
+    const Graph& g, TraversalPolicy policy = TraversalPolicy::kAuto);
 
 /// \brief Multithreaded Brandes: per-source dependency accumulations are
 /// independent and summed per thread, then reduced. `num_threads = 0`
@@ -25,8 +29,9 @@ std::vector<double> BrandesBetweenness(const Graph& g);
 /// Do not call with num_threads = 0 from code already executing on the
 /// shared pool (e.g. inside a SampleEngine worker): nested Submit/Wait on
 /// the same pool deadlocks. Pass an explicit thread count there.
-std::vector<double> ParallelBrandesBetweenness(const Graph& g,
-                                               size_t num_threads = 0);
+std::vector<double> ParallelBrandesBetweenness(
+    const Graph& g, size_t num_threads = 0,
+    TraversalPolicy policy = TraversalPolicy::kAuto);
 
 }  // namespace saphyra
 

@@ -17,8 +17,19 @@ namespace {
 // The restriction test is resolved at compile time: the component-view
 // adapter has none, the filtered adapter keeps the per-arc label compare.
 
+// Adapters with a compact vertex domain additionally expose
+//   DomainSize()  — number of vertices local ids range over,
+//   DomainArcs()  — total directed arcs of the domain,
+// which makes them eligible for the bottom-up pull: the direction
+// heuristic needs the unexplored arc mass, and the candidate scan needs
+// the id range. The filtered adapter exposes neither — its per-arc labels
+// are indexed by the *scanning* endpoint's CSR slot, so a pull would test
+// the wrong arc; it always pushes.
+
 struct GlobalAdj {
   const Graph* g;
+  NodeId DomainSize() const { return g->num_nodes(); }
+  uint64_t DomainArcs() const { return g->num_arcs(); }
   std::span<const NodeId> ArcsOf(NodeId u) const { return g->neighbors(u); }
   void PrefetchNode(NodeId u) const {
     __builtin_prefetch(g->neighbors(u).data(), 0, 2);
@@ -57,6 +68,8 @@ struct FilteredAdj {
 struct ViewAdj {
   const ComponentViews* views;
   uint32_t comp;
+  NodeId DomainSize() const { return views->size(comp); }
+  uint64_t DomainArcs() const { return views->num_arcs(comp); }
   std::span<const NodeId> ArcsOf(NodeId u) const {
     return views->Neighbors(comp, u);
   }
@@ -72,37 +85,76 @@ struct ViewAdj {
 
 PathSampler::PathSampler(const Graph& g,
                          const std::vector<uint32_t>* arc_component)
-    : g_(g), arc_component_(arc_component) {
+    : g_(g),
+      arc_component_(arc_component),
+      regular_domain_(g.max_degree() <= kRegularGraphMaxDegree) {
   for (Side* side : {&fwd_, &bwd_}) {
     side->state.assign(g.num_nodes(), NodeState{0, kNoDist, 0.0});
-    side->frontier.resize(g.num_nodes() + 1);
-    side->next.resize(g.num_nodes() + 1);
+    side->frontier.Reset(g.num_nodes());
+    side->next.Reset(g.num_nodes());
+    side->unvisited.resize(g.num_nodes());
   }
 }
 
 PathSampler::PathSampler(const Graph& g, const ComponentViews& views)
-    : g_(g), views_(&views) {
+    : g_(g),
+      views_(&views),
+      regular_domain_(g.max_degree() <= kRegularGraphMaxDegree) {
   // Local ids never exceed global ones, so n-sized scratch covers both the
   // unrestricted global path and every component view; restricted samples
   // only ever touch the first |C| entries of the state array.
   for (Side* side : {&fwd_, &bwd_}) {
     side->state.assign(g.num_nodes(), NodeState{0, kNoDist, 0.0});
-    side->frontier.resize(g.num_nodes() + 1);
-    side->next.resize(g.num_nodes() + 1);
+    side->frontier.Reset(g.num_nodes());
+    side->next.Reset(g.num_nodes());
+    side->unvisited.resize(g.num_nodes());
   }
 }
 
 void PathSampler::InitSide(Side* side, NodeId origin, uint64_t origin_cost) {
   side->depth = 0;
   side->state[origin] = NodeState{epoch_, 0, 1.0};
-  side->frontier[0] = origin;
-  side->frontier_size = 1;
+  side->frontier.Clear();
+  side->frontier.Push(origin);
   side->frontier_cost = origin_cost;
+  side->explored_cost = origin_cost;
+  side->unvisited_valid = false;
 }
 
 template <class Adj>
 bool PathSampler::ExpandLevel(const Adj& adj, Side* side, const Side* other) {
   const uint32_t new_depth = side->depth + 1;
+  constexpr bool kHasDomain =
+      requires { adj.DomainSize(); adj.DomainArcs(); };
+  const bool hybrid = [&] {
+    if constexpr (kHasDomain) {
+      return traversal_ != TraversalPolicy::kTopDown;
+    } else {
+      return false;
+    }
+  }();
+  if constexpr (kHasDomain) {
+    // Direction-optimizing dispatch: pull when this side's frontier carries
+    // enough of the domain's still-unexplored arc mass. The first pull of
+    // a search must also build the candidate list — an O(domain) scan —
+    // so that cost is charged up front; once the list exists only its
+    // current length is charged. The heuristic sees only set sizes, and
+    // both expansions produce the identical new level (same membership,
+    // same dist, exact same σ — integer-valued doubles), so the policy
+    // never changes what is sampled, only how fast.
+    if (hybrid) {
+      const uint64_t pull_overhead =
+          side->unvisited_valid ? side->unvisited_size : domain_size_;
+      if (DirectionHeuristic::PreferBottomUp(
+              side->frontier_cost,
+              domain_arcs_ - side->explored_cost + pull_overhead)) {
+        ExpandLevelBottomUp(adj, side, other, new_depth);
+        ++bottom_up_levels_;
+        side->depth = new_depth;
+        return !side->frontier.empty();
+      }
+    }
+  }
   NodeId* next = side->next.data();
   size_t cnt = 0;
   double su = 0.0;  // σ of the frontier node being expanded
@@ -124,11 +176,18 @@ bool PathSampler::ExpandLevel(const Adj& adj, Side* side, const Side* other) {
       sv.sigma += sv.dist == new_depth ? su : 0.0;
     }
   };
-  for (size_t fi = 0; fi < side->frontier_size; ++fi) {
-    const NodeId u = side->frontier[fi];
+  const std::span<const NodeId> frontier = side->frontier.vertices();
+  for (size_t fi = 0; fi < frontier.size(); ++fi) {
+    const NodeId u = frontier[fi];
     if constexpr (requires { adj.PrefetchNode(u); }) {
-      if (fi + 2 < side->frontier_size) {
-        adj.PrefetchNode(side->frontier[fi + 2]);
+      if (fi + 2 < frontier.size()) {
+        adj.PrefetchNode(frontier[fi + 2]);
+      }
+      // One extra slot of lookahead on the node's own state line: its σ is
+      // the first read of every expansion, and the address comes straight
+      // off the sparse frontier list (no CSR row computation needed).
+      if (fi + 8 < frontier.size()) {
+        __builtin_prefetch(&side->state[frontier[fi + 8]], 0, 3);
       }
     }
     su = side->state[u].sigma;
@@ -153,19 +212,92 @@ bool PathSampler::ExpandLevel(const Adj& adj, Side* side, const Side* other) {
       adj.ForEachScanned(u, &arcs_scanned_, visit);
     }
   }
-  side->frontier.swap(side->next);
-  side->frontier_size = cnt;
-  // One tight pass over the new frontier (off the expansion's critical
-  // path); the seed rescanned *both* frontiers every balancing round. Only
-  // the bidirectional search balances on it, and once a meeting is found
-  // this was the final level, so the cost is dead either way.
+  side->frontier.Swap(side->next);
+  side->frontier.set_size(cnt);
+  // Arc mass of the level just built, for the bidirectional balance and
+  // the direction heuristic. Near-regular domains (grids: max spread of a
+  // factor ~LevelCostEstimate threshold around the mean) use the free
+  // |frontier| × avg-degree estimate; skewed domains pay one tight pass
+  // over the new frontier — the sharp per-node balance that matters
+  // exactly when degrees are skewed. (The seed rescanned *both* frontiers
+  // every balancing round.) The pass/estimate is skipped whenever its
+  // result is dead: once a meeting is found this was the final level, and
+  // a pure top-down unidirectional search never consults costs at all.
   uint64_t cost = 0;
-  if (other != nullptr && meet_.empty()) {
-    for (size_t i = 0; i < cnt; ++i) cost += adj.Cost(side->frontier[i]);
+  if ((other != nullptr && meet_.empty()) || (hybrid && other == nullptr)) {
+    if (!LevelCostEstimate(cnt, &cost)) {
+      const NodeId* f = side->frontier.data();
+      for (size_t i = 0; i < cnt; ++i) cost += adj.Cost(f[i]);
+    }
   }
   side->frontier_cost = cost;
+  side->explored_cost += cost;
   side->depth = new_depth;
   return cnt != 0;
+}
+
+/// Bottom-up pull of one BFS level: instead of pushing the frontier's
+/// arcs, scan each still-unvisited vertex of the (compact) domain and sum
+/// σ over its parents on the current frontier, probed through the
+/// FrontierSet bitmap — one bit test per arc instead of a 16-byte state
+/// touch. No early exit: σ needs every parent's mass. Newly discovered
+/// vertices come out in ascending id order; since σ sums are exact and
+/// the meet set is sorted before use, this changes nothing downstream.
+template <class Adj>
+void PathSampler::ExpandLevelBottomUp(const Adj& adj, Side* side,
+                                      const Side* other, uint32_t new_depth) {
+  const NodeId domain = domain_size_;
+  if (!side->unvisited_valid) {
+    size_t k = 0;
+    for (NodeId v = 0; v < domain; ++v) {
+      if (side->state[v].epoch != epoch_) side->unvisited[k++] = v;
+    }
+    side->unvisited_size = k;
+    side->unvisited_valid = true;
+  }
+  // Mark the current frontier in the FrontierSet bitmap: one bit probe
+  // per scanned arc below instead of a 16-byte state-line touch.
+  side->frontier.BeginEpoch();
+  side->frontier.MarkSparse();
+  NodeId* next = side->next.data();
+  size_t cnt = 0;
+  uint64_t cost = 0;
+  NodeId* cand = side->unvisited.data();
+  size_t remaining = 0;
+  for (size_t i = 0; i < side->unvisited_size; ++i) {
+    const NodeId v = cand[i];
+    NodeState& sv = side->state[v];
+    if (sv.epoch == epoch_) continue;  // stamped by a top-down level
+    if constexpr (requires { adj.PrefetchNode(v); }) {
+      if (i + 4 < side->unvisited_size) adj.PrefetchNode(cand[i + 4]);
+    }
+    const auto nbr = adj.ArcsOf(v);
+    arcs_scanned_ += nbr.size();
+    double acc = 0.0;
+    for (NodeId u : nbr) {
+      if (side->frontier.Test(u)) acc += side->state[u].sigma;
+    }
+    if (acc != 0.0) {
+      sv = NodeState{epoch_, new_depth, acc};
+      next[cnt++] = v;
+      cost += nbr.size();  // Cost(v) == deg(v), already in hand — free
+      if (other != nullptr && other->state[v].epoch == epoch_) {
+        meet_.push_back(v);
+      }
+    } else {
+      cand[remaining++] = v;
+    }
+  }
+  side->unvisited_size = remaining;
+  side->frontier.Swap(side->next);
+  side->frontier.set_size(cnt);
+  // The exact mass came for free above, but the balance value must be
+  // policy-independent (a top-down expansion of the same level may have
+  // estimated it): apply the identical estimate rule.
+  uint64_t est = 0;
+  if (LevelCostEstimate(cnt, &est)) cost = est;
+  side->frontier_cost = cost;
+  side->explored_cost += cost;
 }
 
 template <class Adj>
@@ -220,6 +352,7 @@ bool PathSampler::SampleUniformPath(NodeId s, NodeId t, uint32_t comp,
     epoch_ = 1;
   }
   arcs_scanned_ = 0;
+  bottom_up_levels_ = 0;
   out->nodes.clear();
   out->num_paths = 0.0;
   out->length = 0;
@@ -248,6 +381,15 @@ template <class Adj>
 bool PathSampler::Dispatch(const Adj& adj, NodeId s, NodeId t,
                            SamplingStrategy strategy, Rng* rng,
                            PathSample* out) {
+  if constexpr (requires { adj.DomainSize(); adj.DomainArcs(); }) {
+    domain_size_ = adj.DomainSize();
+    domain_arcs_ = adj.DomainArcs();
+  } else {
+    // No compact domain (filtered legacy mode): disable the near-regular
+    // cost estimate so stale metrics from a previous sample never apply.
+    domain_size_ = 0;
+    domain_arcs_ = 1;
+  }
   if (strategy == SamplingStrategy::kBidirectional) {
     return SampleBidirectional(adj, s, t, rng, out);
   }
@@ -272,6 +414,12 @@ bool PathSampler::SampleBidirectional(const Adj& adj, NodeId s, NodeId t,
     if (!meet_.empty()) break;
   }
   const uint32_t d = fwd_.depth + bwd_.depth;
+  // Canonicalize the meet set: a top-down level appends middles in
+  // discovery order, a bottom-up level in ascending id order. Sorting
+  // before the weighted draw makes the RNG stream — and therefore the
+  // sampled path for a fixed seed — independent of the expansion
+  // direction (the sampled distribution is order-independent either way).
+  std::sort(meet_.begin(), meet_.end());
   // σ_st and middle selection, weighted by σ_s(v)·σ_t(v).
   double sigma_st = 0.0;
   NodeId middle = kInvalidNode;

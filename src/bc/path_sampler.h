@@ -6,6 +6,7 @@
 
 #include "bicomp/biconnected.h"
 #include "bicomp/component_view.h"
+#include "graph/frontier.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
@@ -81,8 +82,21 @@ class PathSampler {
                          SamplingStrategy strategy, Rng* rng,
                          PathSample* out);
 
+  /// \brief How BFS levels are expanded (graph/frontier.h). Anything but
+  /// kTopDown enables the direction-optimizing pull on substrates that
+  /// support it (global CSR, component views); the filtered legacy mode
+  /// always pushes. The sampled-path *distribution* and, for a fixed seed,
+  /// the sampled paths themselves are policy-independent: σ sums are exact
+  /// (integer-valued doubles) and the meet set is canonicalized before any
+  /// random choice, so the RNG stream advances identically either way.
+  void set_traversal(TraversalPolicy policy) { traversal_ = policy; }
+  TraversalPolicy traversal() const { return traversal_; }
+
   /// \brief Arcs scanned by the most recent call (cost diagnostics).
   uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+
+  /// \brief BFS levels of the most recent call expanded bottom-up.
+  uint32_t last_bottom_up_levels() const { return bottom_up_levels_; }
 
  private:
   /// Per-node BFS state, packed so one cache-line touch per visited node
@@ -95,29 +109,57 @@ class PathSampler {
   };
   struct Side {
     std::vector<NodeState> state;
-    /// frontier/next are preallocated to n+1 entries and sized by
-    /// frontier_size: the branchless expansion stores its push candidate
-    /// unconditionally and bumps the count only on discovery, so the
-    /// buffers need one slot of slack past the component size.
-    std::vector<NodeId> frontier;
-    std::vector<NodeId> next;
-    size_t frontier_size = 0;
+    /// frontier/next hold one BFS level in FrontierSet's dual form: the
+    /// sparse list drives top-down pushes (with the branchless-expansion
+    /// slack slot), the epoch-reset bitmap serves bottom-up pulls.
+    FrontierSet frontier;
+    FrontierSet next;
     uint32_t depth = 0;
-    /// Arc mass of `frontier`, refreshed once per expansion so the
-    /// bidirectional balance check never rescans a frontier.
+    /// Arc mass of `frontier`, accumulated at discovery so neither the
+    /// bidirectional balance check nor the direction heuristic ever
+    /// rescans a frontier.
     uint64_t frontier_cost = 0;
+    /// Arc mass of every node this side has stamped this epoch; the
+    /// direction heuristic's |unexplored arcs| is the domain total minus
+    /// this.
+    uint64_t explored_cost = 0;
+    /// Bottom-up candidates: built lazily at the first pull of a search,
+    /// compacted in place on every pull.
+    std::vector<NodeId> unvisited;
+    size_t unvisited_size = 0;
+    bool unvisited_valid = false;
   };
 
   void InitSide(Side* side, NodeId origin, uint64_t origin_cost);
+
+  /// Frontier arc mass of a level of `cnt` nodes on a near-regular domain:
+  /// returns false (leaving *cost untouched) when the graph's degree
+  /// spread warrants the exact per-node pass instead. Bounded-degree
+  /// graphs (road networks: max degree ≤ 8) are near-regular by
+  /// construction, so |level| × avg-degree is accurate and saves two
+  /// offset loads per discovered node; anything hub-bearing keeps the
+  /// sharp per-node balance. Must be applied identically by both
+  /// expansion directions — the balance values feed grow decisions, which
+  /// the hybrid on/off determinism contract covers.
+  bool LevelCostEstimate(size_t cnt, uint64_t* cost) const {
+    if (!regular_domain_ || domain_size_ == 0) return false;
+    *cost = static_cast<uint64_t>(cnt) * domain_arcs_ / domain_size_;
+    return true;
+  }
+  static constexpr NodeId kRegularGraphMaxDegree = 8;
 
   /// The traversal core is templated over an adjacency adapter (global,
   /// filtered, component-view) so the restriction test compiles away on the
   /// fast path; see path_sampler.cc.
   /// Expand one BFS level of `side`. When `other` is non-null (bidirectional
   /// search), newly discovered nodes already stamped by `other` this epoch
-  /// are appended to meet_.
+  /// are appended to meet_. Adapters exposing a compact domain
+  /// (DomainSize/DomainArcs) are eligible for the bottom-up pull.
   template <class Adj>
   bool ExpandLevel(const Adj& adj, Side* side, const Side* other);
+  template <class Adj>
+  void ExpandLevelBottomUp(const Adj& adj, Side* side, const Side* other,
+                           uint32_t new_depth);
   template <class Adj>
   void WalkDown(const Adj& adj, const Side& side, NodeId v, Rng* rng,
                 std::vector<NodeId>* out);
@@ -134,9 +176,20 @@ class PathSampler {
   const Graph& g_;
   const std::vector<uint32_t>* arc_component_ = nullptr;
   const ComponentViews* views_ = nullptr;
+  TraversalPolicy traversal_ = TraversalPolicy::kAuto;
+  /// Domain metrics of the current sample's substrate, cached once per
+  /// Dispatch so the per-level direction heuristic reads two scalars
+  /// instead of chasing the component-view offset arrays every level.
+  NodeId domain_size_ = 0;
+  uint64_t domain_arcs_ = 0;
+  /// True when the whole graph is bounded-degree (≤ kRegularGraphMaxDegree
+  /// — every component view inherits the bound), enabling the level-cost
+  /// estimate above.
+  bool regular_domain_ = false;
   Side fwd_, bwd_;
   uint32_t epoch_ = 0;
   uint64_t arcs_scanned_ = 0;
+  uint32_t bottom_up_levels_ = 0;
   std::vector<NodeId> meet_;  // middle candidates of the current sample
   std::vector<NodeId> walk_;  // scratch of the s-side backward walk
 

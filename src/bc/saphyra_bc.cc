@@ -26,7 +26,9 @@ class SaphyraBcProblem : public HypothesisRankingProblem {
         rejected_(std::make_shared<std::atomic<uint64_t>>(0)),
         // Component-view fast path: Gen_bc's restricted BFS runs on the
         // compact per-component CSR instead of filtering the global arcs.
-        sampler_(space.isp().graph(), space.isp().views()) {}
+        sampler_(space.isp().graph(), space.isp().views()) {
+    sampler_.set_traversal(options.traversal);
+  }
 
   size_t num_hypotheses() const override { return space_.targets().size(); }
 
@@ -135,6 +137,7 @@ SaphyraBcResult RunSaphyraBc(const IspIndex& isp,
   fw.num_threads = options.num_threads;
   fw.top_k = options.top_k;
   fw.max_wave = options.max_wave;
+  fw.traversal = options.traversal;
   if (options.top_k > 0) {
     // b̃c(v) = bc_a(v) + γη·ℓ_v: separation must rank by the final bc, so
     // the break-point mass enters the rule as an offset in ℓ units.

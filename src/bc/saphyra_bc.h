@@ -21,6 +21,10 @@ struct SaphyraBcOptions {
   uint64_t seed = 1;
   /// Shortest-path sampling strategy of Gen_bc.
   SamplingStrategy strategy = SamplingStrategy::kBidirectional;
+  /// BFS level-expansion policy of Gen_bc (graph/frontier.h):
+  /// kAuto/kHybrid use the direction-optimizing kernel, kTopDown the
+  /// classic push. Results are bitwise identical either way.
+  TraversalPolicy traversal = TraversalPolicy::kAuto;
   /// Ablation switch: disable the 2-hop exact subspace (X̂ = ∅), leaving
   /// pure PISP sampling. Lemma 19's no-false-zero property is lost.
   bool use_exact_subspace = true;

@@ -13,8 +13,10 @@ HarmonicClosenessProblem::HarmonicClosenessProblem(const Graph& g,
                                                    std::vector<NodeId> targets)
     : g_(g),
       targets_(std::move(targets)),
-      dist_(g.num_nodes(), 0),
-      epoch_of_(g.num_nodes(), 0) {
+      visited_(g.num_nodes()),
+      cur_(g.num_nodes()),
+      next_(g.num_nodes()),
+      unvisited_(g.num_nodes()) {
   node_to_hyp_.assign(g.num_nodes(), -1);
   for (size_t i = 0; i < targets_.size(); ++i) {
     SAPHYRA_CHECK(targets_[i] < g.num_nodes());
@@ -47,24 +49,84 @@ void HarmonicClosenessProblem::SampleApproxLosses(
   } else {
     depth_limit = static_cast<uint64_t>(std::ceil(1.0 / x)) - 1;
   }
-  // Truncated BFS from u, reporting targets at 1 <= d <= depth_limit.
-  ++epoch_;
-  epoch_of_[u] = epoch_;
-  dist_[u] = 0;
-  queue_.clear();
-  queue_.push_back(u);
-  for (size_t head = 0; head < queue_.size(); ++head) {
-    NodeId w = queue_[head];
-    if (dist_[w] >= depth_limit) break;  // deeper nodes cannot have loss 1
-    for (NodeId y : g_.neighbors(w)) {
-      if (epoch_of_[y] != epoch_) {
-        epoch_of_[y] = epoch_;
-        dist_[y] = dist_[w] + 1;
-        queue_.push_back(y);
-        int32_t h = node_to_hyp_[y];
-        if (h >= 0) hits->push_back(static_cast<uint32_t>(h));
+  // Truncated level-synchronous BFS from u, reporting targets at
+  // 1 <= d <= depth_limit. Runs entirely on the shared FrontierSet
+  // infrastructure (graph/frontier.h): visited and level membership are
+  // L1-resident epoch-reset bitmaps (a truncated walk never needs the
+  // distances themselves — the level counter carries them), and dense
+  // levels flip to a bottom-up pull which — distances being all we need —
+  // stops at the first parent found on the frontier bitmap. The set of
+  // discovered nodes per level is direction-independent, so the reported
+  // hits (and the estimates) never depend on the policy.
+  visited_.BeginEpoch();
+  visited_.Mark(u);
+  cur_.Clear();
+  cur_.Push(u);
+  cur_.BeginEpoch();
+  cur_.Mark(u);
+  uint64_t frontier_arcs = g_.degree(u);
+  uint64_t explored_arcs = frontier_arcs;
+  size_t unvisited_size = 0;
+  bool unvisited_valid = false;
+  const bool allow_pull = traversal_ != TraversalPolicy::kTopDown;
+  for (uint64_t depth = 0; depth < depth_limit && !cur_.empty(); ++depth) {
+    next_.Clear();
+    next_.BeginEpoch();
+    uint64_t cost = 0;
+    const uint64_t pull_overhead =
+        unvisited_valid ? unvisited_size : g_.num_nodes();
+    if (allow_pull &&
+        DirectionHeuristic::PreferBottomUp(
+            frontier_arcs,
+            g_.num_arcs() - explored_arcs + pull_overhead)) {
+      if (!unvisited_valid) {
+        size_t k = 0;
+        for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+          if (!visited_.Test(v)) unvisited_[k++] = v;
+        }
+        unvisited_size = k;
+        unvisited_valid = true;
+      }
+      size_t remaining = 0;
+      for (size_t i = 0; i < unvisited_size; ++i) {
+        const NodeId v = unvisited_[i];
+        if (visited_.Test(v)) continue;
+        bool found = false;
+        for (NodeId y : g_.neighbors(v)) {
+          if (cur_.Test(y)) {
+            found = true;
+            break;  // dist-only pull: first parent suffices
+          }
+        }
+        if (found) {
+          visited_.Mark(v);
+          next_.Mark(v);
+          next_.Push(v);
+          cost += g_.degree(v);
+          int32_t h = node_to_hyp_[v];
+          if (h >= 0) hits->push_back(static_cast<uint32_t>(h));
+        } else {
+          unvisited_[remaining++] = v;
+        }
+      }
+      unvisited_size = remaining;
+    } else {
+      for (NodeId w : cur_.vertices()) {
+        for (NodeId y : g_.neighbors(w)) {
+          if (!visited_.Test(y)) {
+            visited_.Mark(y);
+            next_.Mark(y);
+            next_.Push(y);
+            cost += g_.degree(y);
+            int32_t h = node_to_hyp_[y];
+            if (h >= 0) hits->push_back(static_cast<uint32_t>(h));
+          }
+        }
       }
     }
+    cur_.Swap(next_);
+    frontier_arcs = cost;
+    explored_arcs += cost;
   }
 }
 
@@ -81,6 +143,7 @@ std::vector<double> EstimateHarmonicCloseness(
     const Graph& g, const std::vector<NodeId>& targets,
     const SaphyraOptions& options) {
   HarmonicClosenessProblem problem(g, targets);
+  problem.set_traversal(options.traversal);
   SaphyraResult res = RunSaphyra(&problem, options);
   std::vector<double> out(res.combined_risks.size());
   for (size_t i = 0; i < out.size(); ++i) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/saphyra.h"
+#include "graph/frontier.h"
 #include "graph/graph.h"
 
 namespace saphyra {
@@ -45,8 +46,16 @@ class HarmonicClosenessProblem : public HypothesisRankingProblem {
   void SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) override;
   double VcDimension() const override;
   std::unique_ptr<HypothesisRankingProblem> CloneForSampling() override {
-    return std::make_unique<HarmonicClosenessProblem>(g_, targets_);
+    auto clone = std::make_unique<HarmonicClosenessProblem>(g_, targets_);
+    clone->set_traversal(traversal_);
+    return clone;
   }
+
+  /// \brief BFS level-expansion policy of the truncated traversal
+  /// (graph/frontier.h). Unlike the σ-counting samplers, the distance-only
+  /// pull may stop at the first frontier parent. The reported hit *sets*
+  /// (and therefore the estimates) are policy-independent.
+  void set_traversal(TraversalPolicy policy) { traversal_ = policy; }
 
   /// \brief Convert a combined risk ℓ back to the harmonic-centrality
   /// scale: hc = ℓ·n/(n−1).
@@ -56,11 +65,12 @@ class HarmonicClosenessProblem : public HypothesisRankingProblem {
   const Graph& g_;
   std::vector<NodeId> targets_;
   std::vector<int32_t> node_to_hyp_;
-  // Truncated-BFS scratch (epoch-reset).
-  std::vector<uint32_t> dist_;
-  std::vector<uint64_t> epoch_of_;
-  std::vector<NodeId> queue_;
-  uint64_t epoch_ = 0;
+  TraversalPolicy traversal_ = TraversalPolicy::kAuto;
+  // Truncated-BFS scratch, all epoch-reset FrontierSets: the visited
+  // bitmap, the cur/next level pair, and the bottom-up candidate list.
+  FrontierSet visited_;
+  FrontierSet cur_, next_;
+  std::vector<NodeId> unvisited_;
 };
 
 /// \brief Estimate the harmonic closeness of `targets` with an (ε,δ)

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/frontier.h"
 #include "util/rng.h"
 
 namespace saphyra {
@@ -129,6 +130,12 @@ struct SaphyraOptions {
   /// stopping-rule checkpoint). Batching granularity only — never affects
   /// results (see the ProgressiveSampler determinism contract).
   uint64_t max_wave = 0;
+  /// How BFS-based sample generators expand their levels
+  /// (graph/frontier.h): kAuto/kHybrid enable the direction-optimizing
+  /// bottom-up pull on supporting substrates, kTopDown forces the classic
+  /// push. Execution choice only — results are bitwise identical either
+  /// way (see DESIGN.md, "Direction-optimizing traversal").
+  TraversalPolicy traversal = TraversalPolicy::kAuto;
 };
 
 /// \brief Diagnostics and output of Algorithm 1.

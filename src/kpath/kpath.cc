@@ -10,7 +10,7 @@ namespace saphyra {
 
 KPathProblem::KPathProblem(const Graph& g, std::vector<NodeId> targets,
                            uint32_t k)
-    : g_(g), targets_(std::move(targets)), k_(k) {
+    : g_(g), targets_(std::move(targets)), k_(k), on_walk_(g.num_nodes()) {
   SAPHYRA_CHECK(k_ >= 1);
   node_to_hyp_.assign(g.num_nodes(), -1);
   for (size_t i = 0; i < targets_.size(); ++i) {
@@ -58,13 +58,14 @@ void KPathProblem::SampleApproxLosses(Rng* rng, std::vector<uint32_t>* hits) {
       cur = g_.neighbors(cur)[rng->UniformInt(g_.degree(cur))];
       walk_.push_back(cur);
     }
-    // Report distinct targets on the walk.
-    for (size_t i = 0; i < walk_.size(); ++i) {
-      int32_t h = node_to_hyp_[walk_[i]];
-      if (h < 0) continue;
-      bool seen = false;
-      for (size_t j = 0; j < i && !seen; ++j) seen = walk_[j] == walk_[i];
-      if (!seen) hits->push_back(static_cast<uint32_t>(h));
+    // Report distinct targets on the walk, first-occurrence order: one
+    // epoch-reset membership set instead of O(len²) pairwise compares.
+    on_walk_.BeginEpoch();
+    for (NodeId v : walk_) {
+      if (on_walk_.Test(v)) continue;
+      on_walk_.Mark(v);
+      int32_t h = node_to_hyp_[v];
+      if (h >= 0) hits->push_back(static_cast<uint32_t>(h));
     }
     return;
   }

@@ -1,0 +1,133 @@
+// Tests of the FrontierSet dual representation: sparse list behavior,
+// dense bitmap marking across word boundaries, the O(1) epoch reset, and
+// the sparse⇄dense transitions a direction-optimizing BFS performs.
+
+#include "graph/frontier.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace {
+
+TEST(FrontierSet, SparsePushAndClear) {
+  FrontierSet f(100);
+  EXPECT_TRUE(f.empty());
+  f.Push(3);
+  f.Push(99);
+  EXPECT_EQ(f.size(), 2u);
+  ASSERT_EQ(f.vertices().size(), 2u);
+  EXPECT_EQ(f.vertices()[0], 3u);
+  EXPECT_EQ(f.vertices()[1], 99u);
+  f.Clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.vertices().size(), 0u);
+}
+
+TEST(FrontierSet, SlackSlotForBranchlessPush) {
+  // The branchless expansion stores its candidate unconditionally at
+  // data()[size] before deciding whether to keep it: the slot one past the
+  // domain size must be writable.
+  FrontierSet f(4);
+  uint32_t* raw = f.data();
+  for (uint32_t v = 0; v < 4; ++v) raw[v] = v;
+  f.set_size(4);
+  raw[4] = 7;  // the slack slot
+  EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(FrontierSet, BitmapMarkTestAcrossWordBoundaries) {
+  FrontierSet f(256);
+  const std::vector<uint32_t> probes = {0, 1, 63, 64, 65, 127, 128, 191, 255};
+  f.BeginEpoch();
+  for (uint32_t v : probes) f.Mark(v);
+  for (uint32_t v : probes) EXPECT_TRUE(f.Test(v)) << v;
+  // Unmarked neighbors of marked bits, including same-word ones.
+  for (uint32_t v : {2u, 62u, 66u, 126u, 129u, 254u}) {
+    EXPECT_FALSE(f.Test(v)) << v;
+  }
+}
+
+TEST(FrontierSet, BitmapExactlyAtWordEdgeDomain) {
+  // Domain sizes at and around multiples of 64 must round their word count
+  // up, never down.
+  for (uint32_t n : {63u, 64u, 65u}) {
+    FrontierSet f(n);
+    f.BeginEpoch();
+    f.Mark(n - 1);
+    EXPECT_TRUE(f.Test(n - 1)) << "domain " << n;
+  }
+}
+
+TEST(FrontierSet, EpochResetInvalidatesAllBitsInO1) {
+  FrontierSet f(512);
+  f.BeginEpoch();
+  for (uint32_t v = 0; v < 512; v += 3) f.Mark(v);
+  f.BeginEpoch();  // O(1): no word is rewritten
+  for (uint32_t v = 0; v < 512; ++v) EXPECT_FALSE(f.Test(v)) << v;
+  // Remarking after the reset works and does not resurrect stale bits of
+  // the same word.
+  f.Mark(6);
+  EXPECT_TRUE(f.Test(6));
+  // 3 and 9 share word 0 with 6 and were marked in the stale epoch: the
+  // lazy word zeroing on Mark(6) must have wiped them.
+  EXPECT_FALSE(f.Test(3));
+  EXPECT_FALSE(f.Test(9));
+}
+
+TEST(FrontierSet, MarkSparseTransfersListToBitmap) {
+  FrontierSet f(130);
+  f.Push(5);
+  f.Push(64);
+  f.Push(129);
+  f.BeginEpoch();
+  f.MarkSparse();
+  EXPECT_TRUE(f.Test(5));
+  EXPECT_TRUE(f.Test(64));
+  EXPECT_TRUE(f.Test(129));
+  EXPECT_FALSE(f.Test(63));
+}
+
+TEST(FrontierSet, SwapExchangesBothRepresentations) {
+  FrontierSet a(64), b(64);
+  a.Push(1);
+  a.BeginEpoch();
+  a.MarkSparse();
+  b.Push(2);
+  b.Push(3);
+  a.Swap(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_FALSE(a.Test(1));
+}
+
+TEST(FrontierSet, ResetKeepsEpochDiscipline) {
+  FrontierSet f(32);
+  f.BeginEpoch();
+  f.Mark(7);
+  f.Reset(64);  // grow the domain
+  EXPECT_EQ(f.domain_size(), 64u);
+  EXPECT_TRUE(f.empty());
+  // Bits marked before the resize stay invalidated after the next epoch.
+  f.BeginEpoch();
+  EXPECT_FALSE(f.Test(7));
+}
+
+TEST(FrontierSet, ManyEpochsNeverBleed) {
+  // Simulates the per-sample reuse pattern: mark a different level each
+  // epoch; earlier levels must never shine through.
+  FrontierSet f(128);
+  for (uint32_t round = 0; round < 1000; ++round) {
+    f.BeginEpoch();
+    const uint32_t v = round % 128;
+    f.Mark(v);
+    EXPECT_TRUE(f.Test(v));
+    EXPECT_FALSE(f.Test((v + 1) % 128));
+    EXPECT_FALSE(f.Test((v + 64) % 128));
+  }
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -78,17 +78,31 @@ class WeightedProblem : public HypothesisRankingProblem {
 
 // ---------------------------------------------------------------------------
 // Determinism stress: ranking output bitwise equal across thread counts
-// {1, 2, 8} × wave schedules {coarse, fine} and across repeated runs.
+// {1, 2, 8} × wave schedules {coarse, fine} × traversal policy (hybrid
+// kernel on/off) and across repeated runs.
 // ---------------------------------------------------------------------------
 
 struct ExecutionVariant {
   uint32_t num_threads;
   uint64_t max_wave;
+  TraversalPolicy traversal;
 };
 
 const ExecutionVariant kVariants[] = {
-    {1, 0},  {2, 0},  {8, 0},    // coarse: one wave per checkpoint
-    {1, 17}, {2, 17}, {8, 17},   // fine: waves of at most 17 samples
+    // coarse waves (one per checkpoint), hybrid kernel off / on
+    {1, 0, TraversalPolicy::kTopDown},
+    {2, 0, TraversalPolicy::kTopDown},
+    {8, 0, TraversalPolicy::kTopDown},
+    {1, 0, TraversalPolicy::kHybrid},
+    {2, 0, TraversalPolicy::kHybrid},
+    {8, 0, TraversalPolicy::kHybrid},
+    // fine waves (at most 17 samples), hybrid kernel off / on
+    {1, 17, TraversalPolicy::kTopDown},
+    {2, 17, TraversalPolicy::kTopDown},
+    {8, 17, TraversalPolicy::kTopDown},
+    {1, 17, TraversalPolicy::kHybrid},
+    {2, 17, TraversalPolicy::kHybrid},
+    {8, 17, TraversalPolicy::kHybrid},
 };
 
 TEST(ProgressiveDeterminism, SaphyraBcBitwiseAcrossThreadsAndWaves) {
@@ -103,6 +117,7 @@ TEST(ProgressiveDeterminism, SaphyraBcBitwiseAcrossThreadsAndWaves) {
     opts.seed = 7;
     opts.num_threads = v.num_threads;
     opts.max_wave = v.max_wave;
+    opts.traversal = v.traversal;
     SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
     // Repeat run with the same variant: bitwise identical.
     SaphyraBcResult res2 = RunSaphyraBc(isp, targets, opts);
@@ -113,7 +128,8 @@ TEST(ProgressiveDeterminism, SaphyraBcBitwiseAcrossThreadsAndWaves) {
       reference_rejected = res.rejected_samples;
     } else {
       EXPECT_EQ(res.bc, reference)
-          << "threads=" << v.num_threads << " max_wave=" << v.max_wave;
+          << "threads=" << v.num_threads << " max_wave=" << v.max_wave
+          << " traversal=" << TraversalPolicyName(v.traversal);
       // Rejections are counted across every sampling worker (the clones
       // share the counter), so the diagnostic is execution-invariant too.
       EXPECT_EQ(res.rejected_samples, reference_rejected);
@@ -131,13 +147,15 @@ TEST(ProgressiveDeterminism, KadabraBitwiseAcrossThreadsAndWaves) {
     opts.seed = 3;
     opts.num_threads = v.num_threads;
     opts.max_wave = v.max_wave;
+    opts.traversal = v.traversal;
     KadabraResult res = RunKadabra(g, opts);
     if (reference.empty()) {
       reference = res.bc;
       reference_samples = res.samples_used;
     } else {
       EXPECT_EQ(res.bc, reference)
-          << "threads=" << v.num_threads << " max_wave=" << v.max_wave;
+          << "threads=" << v.num_threads << " max_wave=" << v.max_wave
+          << " traversal=" << TraversalPolicyName(v.traversal);
       EXPECT_EQ(res.samples_used, reference_samples);
     }
   }
@@ -177,6 +195,7 @@ TEST(ProgressiveDeterminism, TopKModeBitwiseAcrossThreadsAndWaves) {
     opts.top_k = 5;
     opts.num_threads = v.num_threads;
     opts.max_wave = v.max_wave;
+    opts.traversal = v.traversal;
     SaphyraBcResult res = RunSaphyraBc(isp, all, opts);
     if (reference.empty()) {
       reference = res.bc;

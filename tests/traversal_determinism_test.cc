@@ -1,0 +1,151 @@
+// Determinism regression for the direction-optimizing traversal: the full
+// saphyra_rank estimation paths (SaPHyRa_bc, KADABRA, harmonic closeness)
+// must produce bitwise-identical estimates with the hybrid kernel forced
+// on vs. off, for fixed seeds, across thread counts. This is the
+// end-to-end guarantee behind the `--strategy` flag's "execution choice
+// only" contract.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kadabra.h"
+#include "bc/saphyra_bc.h"
+#include "closeness/closeness.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::RandomConnectedGraph;
+
+const TraversalPolicy kPolicies[] = {
+    TraversalPolicy::kTopDown,
+    TraversalPolicy::kHybrid,
+    TraversalPolicy::kAuto,
+};
+
+const uint32_t kThreadCounts[] = {1, 2, 8};
+
+TEST(TraversalDeterminism, SaphyraBcBitwiseAcrossPolicyAndThreads) {
+  // Social profile with a dense core so the hybrid kernel genuinely pulls.
+  Graph g = BarabasiAlbert(300, 4, 17);
+  IspIndex isp(g);
+  const std::vector<NodeId> targets = {1, 5, 17, 42, 99, 123, 250};
+  std::vector<double> reference;
+  for (TraversalPolicy policy : kPolicies) {
+    for (uint32_t threads : kThreadCounts) {
+      SaphyraBcOptions opts;
+      opts.epsilon = 0.04;
+      opts.seed = 11;
+      opts.num_threads = threads;
+      opts.traversal = policy;
+      SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+      if (reference.empty()) {
+        reference = res.bc;
+      } else {
+        EXPECT_EQ(res.bc, reference)
+            << "policy=" << TraversalPolicyName(policy)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(TraversalDeterminism, KadabraBitwiseAcrossPolicyAndThreads) {
+  Graph g = BarabasiAlbert(250, 5, 23);
+  std::vector<double> reference;
+  uint64_t reference_samples = 0;
+  for (TraversalPolicy policy : kPolicies) {
+    for (uint32_t threads : kThreadCounts) {
+      KadabraOptions opts;
+      opts.epsilon = 0.05;
+      opts.seed = 29;
+      opts.num_threads = threads;
+      opts.traversal = policy;
+      KadabraResult res = RunKadabra(g, opts);
+      if (reference.empty()) {
+        reference = res.bc;
+        reference_samples = res.samples_used;
+      } else {
+        EXPECT_EQ(res.bc, reference)
+            << "policy=" << TraversalPolicyName(policy)
+            << " threads=" << threads;
+        EXPECT_EQ(res.samples_used, reference_samples);
+      }
+    }
+  }
+}
+
+TEST(TraversalDeterminism, KadabraUnidirectionalStrategyToo) {
+  // The unidirectional ablation floods whole levels — the regime where the
+  // pull fires most — and must stay bitwise stable as well.
+  Graph g = BarabasiAlbert(200, 6, 31);
+  std::vector<double> reference;
+  for (TraversalPolicy policy : kPolicies) {
+    KadabraOptions opts;
+    opts.epsilon = 0.08;
+    opts.seed = 37;
+    opts.strategy = SamplingStrategy::kUnidirectional;
+    opts.traversal = policy;
+    KadabraResult res = RunKadabra(g, opts);
+    if (reference.empty()) {
+      reference = res.bc;
+    } else {
+      EXPECT_EQ(res.bc, reference)
+          << "policy=" << TraversalPolicyName(policy);
+    }
+  }
+}
+
+TEST(TraversalDeterminism, HarmonicClosenessBitwiseAcrossPolicy) {
+  Graph g = RandomConnectedGraph(180, 0.06, 41);
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < g.num_nodes(); v += 9) targets.push_back(v);
+  std::vector<double> reference;
+  for (TraversalPolicy policy : kPolicies) {
+    for (uint32_t threads : kThreadCounts) {
+      SaphyraOptions opts;
+      opts.epsilon = 0.05;
+      opts.seed = 43;
+      opts.num_threads = threads;
+      opts.traversal = policy;
+      std::vector<double> hc = EstimateHarmonicCloseness(g, targets, opts);
+      if (reference.empty()) {
+        reference = hc;
+      } else {
+        EXPECT_EQ(hc, reference)
+            << "policy=" << TraversalPolicyName(policy)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(TraversalDeterminism, RoadLikeGraphSaphyraBc) {
+  // Grid-with-bridges profile: the tail of each component-restricted BFS is
+  // where the road-like pull fires; estimates must not move.
+  Graph g = RoadGrid(18, 15, 0.8, 47).graph;
+  IspIndex isp(g);
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) targets.push_back(v);
+  std::vector<double> reference;
+  for (TraversalPolicy policy : kPolicies) {
+    SaphyraBcOptions opts;
+    opts.epsilon = 0.05;
+    opts.seed = 53;
+    opts.num_threads = 2;
+    opts.traversal = policy;
+    SaphyraBcResult res = RunSaphyraBc(isp, targets, opts);
+    if (reference.empty()) {
+      reference = res.bc;
+    } else {
+      EXPECT_EQ(res.bc, reference)
+          << "policy=" << TraversalPolicyName(policy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saphyra

@@ -23,7 +23,7 @@ fi
 # The user-facing accuracy/mode flags of saphyra_rank are pinned in both
 # directions: they must stay documented in README.md, and the tool must
 # keep accepting the documented spellings.
-for flag in --epsilon --delta --topk; do
+for flag in --epsilon --delta --topk --strategy; do
   if ! grep -qF -- "$flag" "$REPO_ROOT/README.md"; then
     echo "check_docs: README.md no longer documents the $flag flag" >&2
     exit 1
@@ -35,7 +35,8 @@ for flag in --epsilon --delta --topk; do
 done
 
 # The tracked benchmark metrics must stay documented.
-for metric in adaptive_sample_reduction path_sampling_speedup; do
+for metric in adaptive_sample_reduction path_sampling_speedup \
+              bfs_hybrid_speedup; do
   if ! grep -qF "$metric" "$REPO_ROOT/README.md"; then
     echo "check_docs: README.md no longer documents the $metric metric" >&2
     exit 1

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Build Release and run the micro-kernel benchmark suite.
 #
-# Outputs (in the current directory):
-#   BENCH_micro.json        — optimization speedup ratios (machine-readable;
-#                             path_sampling_speedup is the tracked perf
-#                             metric, adaptive_sample_reduction the tracked
-#                             sample-cost metric: adaptive stopping vs. the
-#                             fixed VC budget at equal ε)
-#   BENCH_micro_gbench.json — full Google-benchmark results
+# Outputs:
+#   BENCH_micro.json (current directory) — curated optimization speedup
+#       ratios (machine-readable; path_sampling_speedup and
+#       bfs_hybrid_speedup are the tracked perf metrics,
+#       adaptive_sample_reduction the tracked sample-cost metric). This is
+#       the only benchmark artifact kept under version control.
+#   $BUILD_DIR/BENCH_micro_gbench.json — full Google-benchmark results.
+#       Raw per-host timings, useful while iterating but not tracked: it
+#       stays with the other build artifacts and is gitignored.
 #
 # Usage: tools/run_benchmarks.sh [extra gbench args...]
 # Env:   BUILD_DIR (default: build-release)
@@ -22,6 +24,6 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
 
 "$BUILD_DIR/bench_micro_kernels" \
   --speedup_json=BENCH_micro.json \
-  --benchmark_out=BENCH_micro_gbench.json \
+  --benchmark_out="$BUILD_DIR/BENCH_micro_gbench.json" \
   --benchmark_out_format=json \
   "$@"

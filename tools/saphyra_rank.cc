@@ -8,6 +8,7 @@
 //                [--targets targets.txt | --random-targets K]
 //                [--algorithm saphyra|saphyra-full|abra|kadabra]
 //                [--epsilon 0.05] [--delta 0.01] [--topk K] [--seed 1]
+//                [--strategy auto|topdown|hybrid]
 //                [--lcc] [--no-cache] [--output ranking.tsv]
 //
 // All algorithms run on the shared progressive sampling scheduler. By
@@ -21,6 +22,13 @@
 // *and* its preprocessing are mmap'ed from the cache instead of re-parsing
 // the text and re-running the decomposition; --no-cache forces the text
 // path. A `.sgr` file can also be passed directly as --graph.
+//
+// --strategy picks the BFS traversal policy of the sampling kernels
+// (graph/frontier.h): `auto` (default) and `hybrid` use the
+// direction-optimizing top-down/bottom-up kernel, `topdown` forces the
+// classic push. Purely an execution choice — estimates are bitwise
+// identical for a fixed seed whichever policy runs (ABRA keeps its own
+// truncated traversal and ignores the flag).
 //
 // The targets file holds one node id per line ('#' comments allowed).
 // Output: "<rank>\t<node>\t<estimate>" sorted by rank; diagnostics go to
@@ -40,6 +48,7 @@
 #include "baselines/kadabra.h"
 #include "bc/saphyra_bc.h"
 #include "graph/binary_io.h"
+#include "graph/frontier.h"
 #include "graph/connectivity.h"
 #include "graph/io.h"
 #include "metrics/rank.h"
@@ -60,6 +69,7 @@ struct Args {
   double delta = 0.01;
   uint64_t topk = 0;
   uint64_t seed = 1;
+  TraversalPolicy traversal = TraversalPolicy::kAuto;
   bool lcc = false;
   bool no_cache = false;
   std::string output;
@@ -72,6 +82,7 @@ void Usage(const char* argv0) {
       "          [--targets FILE | --random-targets K]\n"
       "          [--algorithm saphyra|saphyra-full|abra|kadabra]\n"
       "          [--epsilon E] [--delta D] [--topk K] [--seed S] [--lcc]\n"
+      "          [--strategy auto|topdown|hybrid]\n"
       "          [--no-cache] [--output FILE]\n",
       argv0);
 }
@@ -106,6 +117,11 @@ bool Parse(int argc, char** argv, Args* args) {
       args->topk = std::strtoull(val, nullptr, 10);
     } else if (key == "--seed" && (val = next())) {
       args->seed = std::strtoull(val, nullptr, 10);
+    } else if (key == "--strategy" && (val = next())) {
+      if (!ParseTraversalPolicy(val, &args->traversal)) {
+        std::fprintf(stderr, "unknown --strategy %s\n", val);
+        return false;
+      }
     } else if (key == "--output" && (val = next())) {
       args->output = val;
     } else {
@@ -220,6 +236,7 @@ int main(int argc, char** argv) {
     opts.delta = args.delta;
     opts.seed = args.seed;
     opts.top_k = args.topk;
+    opts.traversal = args.traversal;
     SaphyraBcResult res =
         args.algorithm == "saphyra-full"
             ? RunSaphyraBcFull(isp, opts)
@@ -249,6 +266,7 @@ int main(int argc, char** argv) {
     opts.delta = args.delta;
     opts.seed = args.seed;
     opts.top_k = args.topk;
+    opts.traversal = args.traversal;
     KadabraResult res = RunKadabra(g, opts);
     for (NodeId v : targets) estimates.push_back(res.bc[v]);
   } else {
