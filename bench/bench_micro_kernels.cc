@@ -29,6 +29,9 @@
 #include "graph/io.h"
 #include "seed_bfs.h"
 #include "seed_path_sampler.h"
+#include "service/query.h"
+#include "service/scheduler.h"
+#include "service/session.h"
 #include "util/thread_pool.h"
 
 using namespace saphyra;
@@ -393,6 +396,136 @@ Speedup MeasureCachedPreprocess() {
   return {"cached_preprocess", base, opt};
 }
 
+/// The serving-layer workload of the `serve_warm` / `batch_throughput`
+/// kernels: bc subset queries with distinct seeds (distinct cache keys),
+/// modest ε so the per-query sampling cost is realistic for a ranking
+/// service but does not drown the index cost being amortized.
+std::vector<QueryRequest> ServeWorkload(size_t count) {
+  std::vector<QueryRequest> reqs;
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest req;
+    req.id = "warm" + std::to_string(i);
+    req.estimator = EstimatorKind::kBc;
+    req.epsilon = 0.1;
+    req.delta = 0.01;
+    req.seed = 1000 + i;
+    req.targets = RandomSubset(SocialFixture(), 16, 500 + i);
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+/// Warm-session serving vs. cold per-process runs on the cached social
+/// fixture (the `serve_warm_speedup` acceptance metric). The stream is a
+/// ranking service's traffic shape: 8 distinct queries, each arriving 3
+/// times (popular subsets get re-requested). Cold answers every arrival
+/// the `saphyra_rank` way — a fresh process: open the `.sgr` session,
+/// adopt the index, run the query, throw everything away. Warm is the
+/// serving layer: one QuerySession + BatchScheduler, so the session state
+/// is paid once and the 16 repeat arrivals come out of the memo LRU with
+/// bitwise-identical bytes (the determinism contract is what makes that a
+/// *correct* answer, not an approximation). Both sides load from the same
+/// cache file; the gap is the serving layer itself — index amortization
+/// on the unique fraction, memoization on the repeats. See
+/// docs/benchmarks.md for how to read (and not over-read) this number.
+Speedup MeasureServeWarmVsCold() {
+  const LoadFixture& files = LoadFixtureFiles();
+  const std::vector<QueryRequest> unique_reqs = ServeWorkload(8);
+  std::vector<QueryRequest> stream;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (const QueryRequest& req : unique_reqs) stream.push_back(req);
+  }
+
+  SessionOptions sopts;  // full .sgr: decomposition adopted, not rebuilt
+  auto open_session = [&]() {
+    std::unique_ptr<QuerySession> session;
+    SAPHYRA_CHECK(
+        QuerySession::Open(files.full_sgr_path, sopts, &session).ok());
+    return session;
+  };
+
+  auto time_cold = [&]() {
+    Timer timer;
+    for (const QueryRequest& req : stream) {
+      std::unique_ptr<QuerySession> session = open_session();
+      QueryResult res = session->Run(req);
+      SAPHYRA_CHECK(res.status.ok());
+      benchmark::DoNotOptimize(res.estimates.data());
+    }
+    return timer.ElapsedSeconds();
+  };
+  // One warm session per timed rep, but a fresh scheduler (fresh memo):
+  // a long-lived service would do even better by keeping its memo across
+  // streams — this measures the steady state conservatively.
+  std::unique_ptr<QuerySession> warm = open_session();
+  auto time_warm = [&]() {
+    SchedulerOptions opts;
+    BatchScheduler scheduler(warm.get(), opts);
+    Timer timer;
+    for (const QueryRequest& req : stream) {
+      QueryResult res = scheduler.Run(req);
+      SAPHYRA_CHECK(res.status.ok());
+      benchmark::DoNotOptimize(res.estimates.data());
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  time_warm();  // builds the index; steady state from here
+  time_cold();  // warm up page cache / allocator
+  double base = 1e100, opt = 1e100;
+  for (int r = 0; r < 5; ++r) {
+    base = std::min(base, time_cold());
+    opt = std::min(opt, time_warm());
+  }
+  return {"serve_warm", base, opt};
+}
+
+struct BatchThroughput {
+  uint64_t queries = 0;
+  double seconds = 0.0;
+  uint64_t computed = 0;
+  uint64_t cache_served = 0;  ///< memo + dedup
+  double qps() const { return seconds > 0.0 ? queries / seconds : 0.0; }
+};
+
+/// Mixed batch through the BatchScheduler on a warm session: 8 distinct
+/// queries served 3× each (the repeat traffic a ranking service sees),
+/// so 2/3 of the stream should come from the memo/dedup machinery.
+BatchThroughput MeasureBatchThroughput() {
+  const LoadFixture& files = LoadFixtureFiles();
+  std::unique_ptr<QuerySession> session;
+  SAPHYRA_CHECK(
+      QuerySession::Open(files.full_sgr_path, SessionOptions(), &session)
+          .ok());
+
+  std::vector<QueryRequest> batch;
+  const std::vector<QueryRequest> unique_reqs = ServeWorkload(8);
+  for (int copy = 0; copy < 3; ++copy) {
+    for (const QueryRequest& req : unique_reqs) batch.push_back(req);
+  }
+
+  session->Run(unique_reqs[0]);  // build the index outside the timing
+
+  BatchThroughput best;
+  for (int r = 0; r < 3; ++r) {
+    SchedulerOptions opts;
+    opts.max_concurrent = 4;
+    BatchScheduler scheduler(session.get(), opts);  // fresh memo per rep
+    Timer timer;
+    std::vector<QueryResult> results = scheduler.RunBatch(batch);
+    const double seconds = timer.ElapsedSeconds();
+    for (const QueryResult& res : results) SAPHYRA_CHECK(res.status.ok());
+    const SchedulerStats stats = scheduler.stats();
+    if (best.seconds == 0.0 || seconds < best.seconds) {
+      best.queries = stats.queries;
+      best.seconds = seconds;
+      best.computed = stats.computed;
+      best.cache_served = stats.memo_hits + stats.dedup_hits;
+    }
+  }
+  return best;
+}
+
 /// Adaptive vs. fixed-budget sampling at equal ε: the progressive
 /// scheduler's empirical-Bernstein rule stops as soon as every target
 /// meets ε, while a fixed-budget run must draw the full VC cap Nmax
@@ -457,6 +590,10 @@ void RunSpeedupSuite(const std::string& json_path) {
   results.push_back(MeasurePooledEngine());
   results.push_back(MeasureBinaryLoad());
   results.push_back(MeasureCachedPreprocess());
+  // Serving layer: warm-session amortization (emitted as
+  // serve_warm_speedup) — the cold side repeats session open + index
+  // adoption per query, the warm side pays them once.
+  results.push_back(MeasureServeWarmVsCold());
 
   double geo = 1.0;
   int npath = 0;
@@ -480,6 +617,15 @@ void RunSpeedupSuite(const std::string& json_path) {
       static_cast<unsigned long long>(adaptive.fixed_budget_samples),
       adaptive.ratio());
 
+  BatchThroughput batch = MeasureBatchThroughput();
+  std::printf(
+      "[speedup] %-28s %llu queries in %.4fs = %.1f q/s "
+      "(%llu computed, %llu memo/dedup)\n",
+      "batch_throughput",
+      static_cast<unsigned long long>(batch.queries), batch.seconds,
+      batch.qps(), static_cast<unsigned long long>(batch.computed),
+      static_cast<unsigned long long>(batch.cache_served));
+
   if (json_path.empty()) return;
   std::ofstream out(json_path);
   out << "{\n";
@@ -493,6 +639,12 @@ void RunSpeedupSuite(const std::string& json_path) {
   out << "  \"fixed_budget_samples\": " << adaptive.fixed_budget_samples
       << ",\n";
   out << "  \"adaptive_sample_reduction\": " << adaptive.ratio() << ",\n";
+  out << "  \"batch_throughput_queries\": " << batch.queries << ",\n";
+  out << "  \"batch_throughput_seconds\": " << batch.seconds << ",\n";
+  out << "  \"batch_throughput_computed\": " << batch.computed << ",\n";
+  out << "  \"batch_throughput_cache_served\": " << batch.cache_served
+      << ",\n";
+  out << "  \"batch_throughput_qps\": " << batch.qps() << ",\n";
   out << "  \"path_sampling_speedup\": " << path_speedup << "\n}\n";
   std::printf("[speedup] wrote %s\n", json_path.c_str());
 }
@@ -673,6 +825,42 @@ void BM_GraphLoadBinary(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphLoadBinary);
+
+// One bc subset query on a warm QuerySession — the steady-state unit of
+// the serving layer. Compare against BM_ServeColdQuery (session open +
+// same query) to see what the session amortizes.
+void BM_ServeWarmQuery(benchmark::State& state) {
+  const LoadFixture& files = LoadFixtureFiles();
+  std::unique_ptr<QuerySession> session;
+  SAPHYRA_CHECK(
+      QuerySession::Open(files.full_sgr_path, SessionOptions(), &session)
+          .ok());
+  const std::vector<QueryRequest> workload = ServeWorkload(8);
+  session->Run(workload[0]);  // build the index outside the loop
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryResult res = session->Run(workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(res.estimates.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeWarmQuery);
+
+void BM_ServeColdQuery(benchmark::State& state) {
+  const LoadFixture& files = LoadFixtureFiles();
+  const std::vector<QueryRequest> workload = ServeWorkload(8);
+  size_t i = 0;
+  for (auto _ : state) {
+    std::unique_ptr<QuerySession> session;
+    SAPHYRA_CHECK(
+        QuerySession::Open(files.full_sgr_path, SessionOptions(), &session)
+            .ok());
+    QueryResult res = session->Run(workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(res.estimates.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeColdQuery);
 
 // Full serve-from-cache: load + decomposition, text pipeline vs. cache.
 void BM_PreprocessFromCache(benchmark::State& state) {

@@ -74,8 +74,12 @@ std::vector<double> ParallelBrandesBetweenness(const Graph& g,
   std::vector<std::vector<double>> partial(workers,
                                            std::vector<double>(n, 0.0));
   std::atomic<NodeId> cursor{0};
+  // Private task group: waits only on this computation's tasks, so
+  // concurrent drivers can share SharedThreadPool (the multi-driver
+  // contract of util/thread_pool.h).
+  ThreadPool::TaskGroup group;
   for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&, w] {
+    pool.Submit(&group, [&, w] {
       BfsKernel kernel(g, policy);
       std::vector<double> delta(n, 0.0);
       for (;;) {
@@ -85,7 +89,7 @@ std::vector<double> ParallelBrandesBetweenness(const Graph& g,
       }
     });
   }
-  pool.Wait();
+  pool.WaitGroup(&group);
   std::vector<double> bc(n, 0.0);
   for (const auto& p : partial) {
     for (NodeId v = 0; v < n; ++v) bc[v] += p[v];

@@ -23,6 +23,13 @@
 /// logical RNG streams (`stripes`), and all accumulation is integer (hit
 /// counts, and 32.32 fixed point for fractional losses), hence
 /// associative. See DESIGN.md, "Adaptive stopping contract".
+///
+/// Ownership/threading: a sampler borrows the problem and base RNG (both
+/// must outlive it) and is single-driver — Run() once, from one thread.
+/// Independent samplers may run concurrently from different driver
+/// threads (they share SharedThreadPool through per-call task groups);
+/// the serving layer's BatchScheduler (src/service/scheduler.h) does
+/// exactly that, one sampler per admitted query.
 
 #include <cstdint>
 #include <vector>

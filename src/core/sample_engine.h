@@ -1,6 +1,22 @@
 #ifndef SAPHYRA_CORE_SAMPLE_ENGINE_H_
 #define SAPHYRA_CORE_SAMPLE_ENGINE_H_
 
+/// \file
+/// The pooled sampling engine: draws batches of i.i.d. samples for the
+/// adaptive estimation loop over a fixed set of logical RNG stripes, so
+/// that merged statistics are bitwise independent of thread count, pool
+/// size and wave batching (DESIGN.md, "Pooled sample engine and its
+/// determinism contract"). Every estimator frontend samples through this
+/// engine via core/progressive_sampler.h.
+///
+/// Ownership/threading: an engine borrows the problem, base RNG and pool
+/// (all must outlive it) and owns its clones and accumulators. One
+/// engine serves one driver thread — its Draw calls must not be made
+/// concurrently — but independent engines may share one ThreadPool from
+/// different driver threads: pool completion is tracked per task group
+/// (util/thread_pool.h), which is what lets the serving layer
+/// (src/service/) run concurrent queries on the shared pool.
+
 #include <cstdint>
 #include <memory>
 #include <vector>

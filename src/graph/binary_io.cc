@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/io.h"
+#include "util/hash.h"
 #include "util/mapped_file.h"
 
 namespace saphyra {
@@ -31,7 +32,11 @@ struct SgrHeader {
   uint64_t num_arcs;
   uint64_t source_size;      // stat of the text corpus at conversion time
   uint64_t source_mtime_ns;  // 0/0 = unknown provenance (never fresh)
-  uint8_t reserved[8];
+  // Content digest of the CSR image (GraphContentFingerprint). Occupies
+  // what was a reserved field, so caches written before fingerprints
+  // existed read back as 0 = unknown — an additive change, no version
+  // bump (see docs/formats.md).
+  uint64_t content_fingerprint;
 };
 static_assert(sizeof(SgrHeader) == 64, ".sgr header must stay 64 bytes");
 
@@ -201,8 +206,20 @@ Status ParseHeader(std::span<const std::byte> bytes, SgrHeader* hdr) {
 
 }  // namespace
 
+uint64_t GraphContentFingerprint(const Graph& g) {
+  Fnv1a64 h;
+  h.UpdateValue(static_cast<uint64_t>(g.num_nodes()));
+  h.UpdateValue(static_cast<uint64_t>(g.num_arcs()));
+  const auto offsets = g.raw_offsets();
+  h.Update(offsets.data(), offsets.size() * sizeof(EdgeIndex));
+  const auto adj = g.raw_adj();
+  h.Update(adj.data(), adj.size() * sizeof(NodeId));
+  return h.Digest();
+}
+
 GraphCache::GraphCache(GraphCache&& other) noexcept
     : graph(std::move(other.graph)),
+      content_fingerprint(other.content_fingerprint),
       has_decomposition(other.has_decomposition),
       bcc(std::move(other.bcc)),
       conn(std::move(other.conn)),
@@ -213,6 +230,7 @@ GraphCache::GraphCache(GraphCache&& other) noexcept
 
 GraphCache& GraphCache::operator=(GraphCache&& other) noexcept {
   graph = std::move(other.graph);
+  content_fingerprint = other.content_fingerprint;
   has_decomposition = other.has_decomposition;
   bcc = std::move(other.bcc);
   conn = std::move(other.conn);
@@ -244,6 +262,7 @@ Status WriteSgr(const std::string& path, const Graph& g,
               (options.compact_ids ? kFlagCompactIds : 0);
   hdr.num_nodes = g.num_nodes();
   hdr.num_arcs = g.num_arcs();
+  hdr.content_fingerprint = GraphContentFingerprint(g);
   if (options.source_size != 0 || options.source_mtime_ns != 0) {
     hdr.source_size = options.source_size;
     hdr.source_mtime_ns = options.source_mtime_ns;
@@ -385,6 +404,7 @@ Status LoadSgr(const std::string& path, GraphCache* out,
                                        ArrayRef<NodeId>(adj, file),
                                        &out->graph));
 
+  out->content_fingerprint = hdr.content_fingerprint;
   out->has_decomposition = (hdr.flags & kFlagHasDecomposition) != 0;
   if (!out->has_decomposition) return Status::OK();
 

@@ -49,6 +49,12 @@ inline constexpr uint64_t kSgrAlignment = 64;
 /// the move operations re-bind them, which is why the struct is move-only.
 struct GraphCache {
   Graph graph;
+  /// Content digest of `graph` (GraphContentFingerprint), read from the
+  /// `.sgr` header when the cache was loaded from a file that recorded
+  /// one; 0 = unknown (text parse, or a cache written before fingerprints
+  /// existed). The serving layer keys its result memo on this — see
+  /// docs/serving.md.
+  uint64_t content_fingerprint = 0;
   bool has_decomposition = false;
   BiconnectedComponents bcc;
   ComponentLabels conn;
@@ -114,6 +120,15 @@ Status LoadSgr(const std::string& path, GraphCache* out,
 
 /// \brief Conventional cache path of a text corpus: `<source>.sgr`.
 std::string SgrCachePathFor(const std::string& source_path);
+
+/// \brief Content digest of a graph: FNV-1a over (num_nodes, num_arcs, the
+/// CSR offset array, the adjacency array). Two graphs hash equal iff their
+/// CSR images are byte-identical, regardless of how they were loaded (text
+/// parse or `.sgr` cache). O(n + m); WriteSgr computes it once and records
+/// it in the header so cache loads get it for free
+/// (GraphCache::content_fingerprint). Used by the serving layer to key
+/// memoized query results to the exact graph they were computed on.
+uint64_t GraphContentFingerprint(const Graph& g);
 
 /// \brief Sets `*fresh` iff `sgr_path` exists, parses as `.sgr`, and its
 /// recorded source size+mtime match the current stat of `source_path`.

@@ -1,0 +1,228 @@
+#include "service/query.h"
+
+#include <algorithm>
+
+#include "service/json_util.h"
+#include "util/hash.h"
+
+namespace saphyra {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kBc: return "bc";
+    case EstimatorKind::kBcFull: return "bc-full";
+    case EstimatorKind::kKPath: return "kpath";
+    case EstimatorKind::kCloseness: return "closeness";
+    case EstimatorKind::kAbra: return "abra";
+    case EstimatorKind::kKadabra: return "kadabra";
+  }
+  return "bc";
+}
+
+bool ParseEstimatorKind(const std::string& s, EstimatorKind* out) {
+  if (s == "bc") *out = EstimatorKind::kBc;
+  else if (s == "bc-full") *out = EstimatorKind::kBcFull;
+  else if (s == "kpath") *out = EstimatorKind::kKPath;
+  else if (s == "closeness") *out = EstimatorKind::kCloseness;
+  else if (s == "abra") *out = EstimatorKind::kAbra;
+  else if (s == "kadabra") *out = EstimatorKind::kKadabra;
+  else return false;
+  return true;
+}
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kComputed: return "computed";
+    case ServeMode::kMemoized: return "memo";
+    case ServeMode::kDeduped: return "dedup";
+  }
+  return "computed";
+}
+
+Status CanonicalizeQuery(NodeId num_nodes, QueryRequest* req) {
+  if (!(req->epsilon > 0.0) || req->epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (!(req->delta > 0.0) || req->delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  std::sort(req->targets.begin(), req->targets.end());
+  req->targets.erase(std::unique(req->targets.begin(), req->targets.end()),
+                     req->targets.end());
+  if (!req->targets.empty() && req->targets.back() >= num_nodes) {
+    return Status::InvalidArgument(
+        "target id " + std::to_string(req->targets.back()) +
+        " out of range (n=" + std::to_string(num_nodes) + ")");
+  }
+  // Empty targets mean "the whole graph"; for bc that is exactly bc-full,
+  // so the two spellings must share one cache entry.
+  if (req->estimator == EstimatorKind::kBc && req->targets.empty()) {
+    req->estimator = EstimatorKind::kBcFull;
+  }
+  // Fields an estimator ignores are reset to fixed values so they cannot
+  // split cache entries between requests with identical answers.
+  const bool uses_strategy = req->estimator == EstimatorKind::kBc ||
+                             req->estimator == EstimatorKind::kBcFull ||
+                             req->estimator == EstimatorKind::kKadabra;
+  if (!uses_strategy) req->strategy = SamplingStrategy::kBidirectional;
+  if (req->estimator == EstimatorKind::kKPath) {
+    if (req->k < 1 || req->k > 10000) {
+      return Status::InvalidArgument("k must be in [1, 10000]");
+    }
+  } else {
+    req->k = 0;
+  }
+  return Status::OK();
+}
+
+QueryCacheKey MakeQueryCacheKey(uint64_t graph_fingerprint,
+                                const QueryRequest& req) {
+  // Byte-exact encoding of the statistical parameters only; traversal and
+  // num_threads are execution-only and deliberately absent (the
+  // determinism contract makes them inert — see the file comment).
+  std::string enc;
+  enc.reserve(64 + req.targets.size() * sizeof(NodeId));
+  auto append = [&enc](const void* data, size_t bytes) {
+    enc.append(static_cast<const char*>(data), bytes);
+  };
+  append(&graph_fingerprint, sizeof(graph_fingerprint));
+  const uint8_t kind = static_cast<uint8_t>(req.estimator);
+  append(&kind, sizeof(kind));
+  // Doubles are keyed by their bit patterns: 0.05 and 0.05000000000000001
+  // are different estimator runs, and NaN cannot reach here
+  // (CanonicalizeQuery range-checks both).
+  append(&req.epsilon, sizeof(req.epsilon));
+  append(&req.delta, sizeof(req.delta));
+  append(&req.seed, sizeof(req.seed));
+  append(&req.top_k, sizeof(req.top_k));
+  append(&req.k, sizeof(req.k));
+  const uint8_t strat = static_cast<uint8_t>(req.strategy);
+  append(&strat, sizeof(strat));
+  const uint64_t count = req.targets.size();
+  append(&count, sizeof(count));
+  append(req.targets.data(), req.targets.size() * sizeof(NodeId));
+
+  Fnv1a64 h;
+  h.Update(enc);
+  return {h.Digest(), std::move(enc)};
+}
+
+Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
+  *out = QueryRequest();
+  JsonValue doc;
+  SAPHYRA_RETURN_NOT_OK(ParseJson(line, &doc));
+  if (doc.type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  auto get_uint = [](const JsonValue& v, const char* what, uint64_t* dst) {
+    if (v.type != JsonValue::Type::kNumber || !v.is_uint) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " must be a non-negative integer");
+    }
+    *dst = v.uint_value;
+    return Status::OK();
+  };
+
+  for (const auto& [key, value] : doc.object) {
+    if (key == "id") {
+      if (value.type != JsonValue::Type::kString) {
+        return Status::InvalidArgument("id must be a string");
+      }
+      out->id = value.string_value;
+    } else if (key == "estimator") {
+      if (value.type != JsonValue::Type::kString ||
+          !ParseEstimatorKind(value.string_value, &out->estimator)) {
+        return Status::InvalidArgument(
+            "estimator must be one of bc, bc-full, kpath, closeness, abra, "
+            "kadabra");
+      }
+    } else if (key == "epsilon") {
+      if (value.type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument("epsilon must be a number");
+      }
+      out->epsilon = value.number_value;
+    } else if (key == "delta") {
+      if (value.type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument("delta must be a number");
+      }
+      out->delta = value.number_value;
+    } else if (key == "seed") {
+      SAPHYRA_RETURN_NOT_OK(get_uint(value, "seed", &out->seed));
+    } else if (key == "topk") {
+      SAPHYRA_RETURN_NOT_OK(get_uint(value, "topk", &out->top_k));
+    } else if (key == "k") {
+      uint64_t k = 0;
+      SAPHYRA_RETURN_NOT_OK(get_uint(value, "k", &k));
+      if (k > 10000) return Status::InvalidArgument("k must be <= 10000");
+      out->k = static_cast<uint32_t>(k);
+    } else if (key == "strategy") {
+      if (value.type != JsonValue::Type::kString) {
+        return Status::InvalidArgument("strategy must be a string");
+      }
+      if (value.string_value == "bidirectional") {
+        out->strategy = SamplingStrategy::kBidirectional;
+      } else if (value.string_value == "unidirectional") {
+        out->strategy = SamplingStrategy::kUnidirectional;
+      } else {
+        return Status::InvalidArgument(
+            "strategy must be bidirectional or unidirectional");
+      }
+    } else if (key == "traversal") {
+      if (value.type != JsonValue::Type::kString ||
+          !ParseTraversalPolicy(value.string_value, &out->traversal)) {
+        return Status::InvalidArgument(
+            "traversal must be auto, topdown or hybrid");
+      }
+    } else if (key == "threads") {
+      uint64_t t = 0;
+      SAPHYRA_RETURN_NOT_OK(get_uint(value, "threads", &t));
+      if (t > 1024) return Status::InvalidArgument("threads must be <= 1024");
+      out->num_threads = static_cast<uint32_t>(t);
+    } else if (key == "targets") {
+      if (value.type != JsonValue::Type::kArray) {
+        return Status::InvalidArgument("targets must be an array");
+      }
+      out->targets.reserve(value.array.size());
+      for (const JsonValue& elem : value.array) {
+        uint64_t id = 0;
+        SAPHYRA_RETURN_NOT_OK(get_uint(elem, "targets entry", &id));
+        if (id >= kInvalidNode) {
+          return Status::InvalidArgument("targets entry exceeds node range");
+        }
+        out->targets.push_back(static_cast<NodeId>(id));
+      }
+    } else {
+      return Status::InvalidArgument("unknown request field: " + key);
+    }
+  }
+  return Status::OK();
+}
+
+std::string SerializeQueryResult(const QueryResult& res) {
+  std::string out = "{\"id\":" + JsonQuote(res.id);
+  if (!res.status.ok()) {
+    out += ",\"ok\":false,\"error\":" + JsonQuote(res.status.ToString()) + "}";
+    return out;
+  }
+  out += ",\"ok\":true,\"estimator\":\"";
+  out += EstimatorKindName(res.estimator);
+  out += "\",\"served\":\"";
+  out += ServeModeName(res.mode);
+  out += "\",\"samples\":" + std::to_string(res.samples_used);
+  out += ",\"seconds\":" + JsonNumber(res.seconds);
+  out += ",\"nodes\":[";
+  for (size_t i = 0; i < res.nodes.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(res.nodes[i]);
+  }
+  out += "],\"estimates\":[";
+  for (size_t i = 0; i < res.estimates.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += JsonNumber(res.estimates[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace saphyra

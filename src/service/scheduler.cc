@@ -1,0 +1,156 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace saphyra {
+
+BatchScheduler::BatchScheduler(QuerySession* session,
+                               const SchedulerOptions& options)
+    : session_(session), options_(options) {}
+
+std::shared_ptr<const QueryResult> BatchScheduler::LookupMemoLocked(
+    const QueryCacheKey& key) {
+  auto it = memo_index_.find(key.canonical);
+  if (it == memo_index_.end()) return nullptr;
+  memo_.splice(memo_.begin(), memo_, it->second);  // touch
+  return it->second->result;
+}
+
+void BatchScheduler::InsertMemoLocked(
+    const QueryCacheKey& key, std::shared_ptr<const QueryResult> result) {
+  if (options_.memo_capacity == 0) return;
+  auto it = memo_index_.find(key.canonical);
+  if (it != memo_index_.end()) {
+    // A racing duplicate already inserted; the determinism contract says
+    // the bytes are identical, so just refresh recency.
+    memo_.splice(memo_.begin(), memo_, it->second);
+    return;
+  }
+  memo_.push_front({key.canonical, std::move(result)});
+  memo_index_[key.canonical] = memo_.begin();
+  while (memo_.size() > options_.memo_capacity) {
+    memo_index_.erase(memo_.back().canonical);
+    memo_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+QueryResult BatchScheduler::Run(const QueryRequest& request) {
+  QueryRequest canonical = request;
+  Status st = CanonicalizeQuery(session_->graph().num_nodes(), &canonical);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    ++stats_.errors;
+    QueryResult res;
+    res.id = request.id;
+    res.estimator = request.estimator;
+    res.status = st;
+    return res;
+  }
+  const QueryCacheKey key = MakeQueryCacheKey(session_->fingerprint(),
+                                              canonical);
+
+  std::shared_ptr<Inflight> entry;
+  std::shared_ptr<const QueryResult> memo_hit;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.queries;
+    memo_hit = LookupMemoLocked(key);
+    if (memo_hit != nullptr) {
+      ++stats_.memo_hits;
+    } else {
+      auto it = inflight_.find(key.canonical);
+      if (it != inflight_.end()) {
+        entry = it->second;
+        ++stats_.dedup_hits;
+        entry->cv.wait(lock, [&entry] { return entry->done; });
+        QueryResult res = entry->result;
+        res.id = request.id;
+        res.mode = ServeMode::kDeduped;
+        res.seconds = 0.0;
+        return res;
+      }
+      entry = std::make_shared<Inflight>();
+      inflight_[key.canonical] = entry;
+      ++stats_.computed;
+    }
+  }
+  if (memo_hit != nullptr) {
+    // The per-caller copy happens outside the lock; memo entries are
+    // immutable and shared by pointer, so the hit itself was O(1).
+    QueryResult res = *memo_hit;
+    res.id = request.id;
+    res.mode = ServeMode::kMemoized;
+    res.seconds = 0.0;
+    return res;
+  }
+
+  // The owner must always complete the in-flight entry — a throw from the
+  // estimator (e.g. bad_alloc) that left it pending would wedge every
+  // future request with this key in the dedup wait.
+  QueryResult res;
+  try {
+    res = session_->RunCanonical(canonical);
+  } catch (const std::exception& e) {
+    res.status = Status::Internal(std::string("query execution failed: ") +
+                                  e.what());
+  }
+  res.id = request.id;
+  res.mode = ServeMode::kComputed;
+  // Materialize the memo entry before taking the lock: the O(|result|)
+  // copy should not serialize other drivers.
+  std::shared_ptr<const QueryResult> memo_entry;
+  if (res.status.ok()) memo_entry = std::make_shared<const QueryResult>(res);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (memo_entry != nullptr) {
+      InsertMemoLocked(key, std::move(memo_entry));
+    } else {
+      ++stats_.errors;  // executed but failed: visible in the error count
+    }
+    entry->result = res;
+    entry->done = true;
+    inflight_.erase(key.canonical);
+  }
+  entry->cv.notify_all();
+  return res;
+}
+
+std::vector<QueryResult> BatchScheduler::RunBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResult> results(requests.size());
+  const size_t admit =
+      std::min<size_t>(std::max<uint32_t>(1, options_.max_concurrent),
+                       requests.size());
+  if (admit <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) results[i] = Run(requests[i]);
+    return results;
+  }
+  // Driver threads pull the next unanswered request; sampling inside each
+  // query still fans out on SharedThreadPool (per-call task groups keep
+  // the drivers independent there).
+  std::atomic<size_t> next{0};
+  auto drive = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= requests.size()) return;
+      results[i] = Run(requests[i]);
+    }
+  };
+  std::vector<std::thread> drivers;
+  drivers.reserve(admit);
+  for (size_t t = 0; t < admit; ++t) drivers.emplace_back(drive);
+  for (auto& d : drivers) d.join();
+  return results;
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace saphyra

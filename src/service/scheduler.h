@@ -1,0 +1,111 @@
+#ifndef SAPHYRA_SERVICE_SCHEDULER_H_
+#define SAPHYRA_SERVICE_SCHEDULER_H_
+
+/// \file
+/// BatchScheduler: admission, deduplication and memoization over a
+/// QuerySession. Admits up to `max_concurrent` queries at once (each runs
+/// on its own driver thread; sample generation inside them shares
+/// SharedThreadPool through per-call task groups), collapses identical
+/// in-flight requests onto one execution, and memoizes completed results
+/// in an LRU keyed by the canonical query encoding — which includes the
+/// graph's content fingerprint, so results can never leak across graphs.
+///
+/// Memoization is sound because of the determinism contract: a canonical
+/// key pins every statistical parameter of the run, and the contract
+/// (DESIGN.md, "Serving determinism contract") guarantees the estimator
+/// would reproduce the stored bytes exactly. A memo hit is therefore
+/// indistinguishable from a re-run — same bits, less work — and the
+/// determinism tests (tests/serve_determinism_test.cc) verify exactly
+/// that equivalence.
+///
+/// Ownership/threading: all public methods are thread-safe; one mutex
+/// guards the memo, the in-flight table and the stats. The session must
+/// outlive the scheduler.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/query.h"
+#include "service/session.h"
+
+namespace saphyra {
+
+struct SchedulerOptions {
+  /// Queries admitted concurrently by RunBatch (1 = serial admission).
+  uint32_t max_concurrent = 1;
+  /// Completed-result LRU capacity in *entries* (0 disables memoization).
+  /// Entries are O(|targets|) — but whole-network results (bc-full, or a
+  /// targetless baseline query) are O(n) each, so size this down when
+  /// memoizing full-graph queries on very large graphs.
+  size_t memo_capacity = 64;
+};
+
+struct SchedulerStats {
+  uint64_t queries = 0;      ///< requests answered
+  uint64_t computed = 0;     ///< estimator executions
+  uint64_t memo_hits = 0;    ///< served from the LRU
+  uint64_t dedup_hits = 0;   ///< shared an in-flight execution
+  uint64_t errors = 0;       ///< invalid requests
+  uint64_t evictions = 0;    ///< LRU entries displaced
+};
+
+/// \brief Concurrent query front door over one warm QuerySession.
+class BatchScheduler {
+ public:
+  BatchScheduler(QuerySession* session, const SchedulerOptions& options);
+
+  /// \brief Answer one request through the memo/dedup machinery.
+  /// Thread-safe; concurrent callers with the same canonical key share one
+  /// execution.
+  QueryResult Run(const QueryRequest& request);
+
+  /// \brief Answer a batch; results align with `requests`. Up to
+  /// `max_concurrent` requests execute at once. Result *values* are
+  /// independent of the admission order and concurrency (determinism
+  /// contract); the served-mode labels are not — which request of a
+  /// duplicate pair computes and which dedups depends on timing.
+  std::vector<QueryResult> RunBatch(const std::vector<QueryRequest>& requests);
+
+  SchedulerStats stats() const;
+  QuerySession* session() const { return session_; }
+
+ private:
+  struct Inflight {
+    bool done = false;
+    QueryResult result;
+    std::condition_variable cv;
+  };
+  /// Memoized results are immutable and shared by pointer, so a hit under
+  /// the lock is a refcount bump, not an O(|result|) copy — the per-caller
+  /// copy (id/mode adjustment) happens outside mu_.
+  struct MemoEntry {
+    std::string canonical;
+    std::shared_ptr<const QueryResult> result;
+  };
+
+  /// Memo lookup + LRU touch; non-null on hit. Caller holds mu_.
+  std::shared_ptr<const QueryResult> LookupMemoLocked(
+      const QueryCacheKey& key);
+  /// Insert a completed ok result. Caller holds mu_.
+  void InsertMemoLocked(const QueryCacheKey& key,
+                        std::shared_ptr<const QueryResult> result);
+
+  QuerySession* session_;
+  SchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  SchedulerStats stats_;
+  /// LRU list, most-recent first, with an index by canonical encoding.
+  std::list<MemoEntry> memo_;
+  std::map<std::string, std::list<MemoEntry>::iterator> memo_index_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_SERVICE_SCHEDULER_H_

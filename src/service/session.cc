@@ -1,0 +1,188 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "baselines/abra.h"
+#include "baselines/kadabra.h"
+#include "bc/saphyra_bc.h"
+#include "closeness/closeness.h"
+#include "core/saphyra.h"
+#include "kpath/kpath.h"
+#include "util/timer.h"
+
+namespace saphyra {
+
+namespace {
+
+/// Targets of a whole-graph query: 0..n-1.
+std::vector<NodeId> AllNodes(NodeId n) {
+  std::vector<NodeId> all(n);
+  for (NodeId v = 0; v < n; ++v) all[v] = v;
+  return all;
+}
+
+/// Report `targets` (or all nodes when empty) out of a whole-network
+/// estimate vector — the ABRA/KADABRA shape.
+void ReportSubset(const std::vector<double>& bc,
+                  const std::vector<NodeId>& targets, QueryResult* res) {
+  if (targets.empty()) {
+    res->nodes = AllNodes(static_cast<NodeId>(bc.size()));
+    res->estimates = bc;
+    return;
+  }
+  res->nodes = targets;
+  res->estimates.reserve(targets.size());
+  for (NodeId v : targets) res->estimates.push_back(bc[v]);
+}
+
+}  // namespace
+
+Status QuerySession::Open(const std::string& graph_path,
+                          const SessionOptions& options,
+                          std::unique_ptr<QuerySession>* out) {
+  std::unique_ptr<QuerySession> session(new QuerySession());
+  session->options_ = options;
+  SAPHYRA_RETURN_NOT_OK(LoadGraphAuto(graph_path, options.load,
+                                      &session->cache_,
+                                      &session->loaded_from_cache_));
+  session->graph_ = std::move(session->cache_.graph);
+  if (session->graph_.num_nodes() < 2) {
+    return Status::InvalidArgument("graph too small to serve queries (n=" +
+                                   std::to_string(session->graph_.num_nodes()) +
+                                   ")");
+  }
+  // Prefer the fingerprint the `.sgr` header recorded (free); caches
+  // written before fingerprints existed, and text parses, pay one O(n+m)
+  // pass here — once per session, not per query.
+  session->fingerprint_ = session->cache_.content_fingerprint != 0
+                              ? session->cache_.content_fingerprint
+                              : GraphContentFingerprint(session->graph_);
+  if (options.eager_index) session->isp();
+  *out = std::move(session);
+  return Status::OK();
+}
+
+const IspIndex& QuerySession::isp() {
+  std::call_once(isp_once_, [this] {
+    isp_ = cache_.has_decomposition
+               ? std::make_unique<IspIndex>(graph_, std::move(cache_))
+               : std::make_unique<IspIndex>(graph_);
+  });
+  return *isp_;
+}
+
+QueryResult QuerySession::Run(const QueryRequest& request) {
+  QueryRequest req = request;
+  Status st = CanonicalizeQuery(graph_.num_nodes(), &req);
+  if (!st.ok()) {
+    QueryResult res;
+    res.id = request.id;
+    res.estimator = request.estimator;
+    res.status = st;
+    return res;
+  }
+  return RunCanonical(req);
+}
+
+QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
+  QueryResult res;
+  res.id = req.id;
+  res.estimator = req.estimator;
+  const uint32_t threads =
+      req.num_threads != 0 ? req.num_threads : options_.default_threads;
+
+  Timer timer;
+  switch (req.estimator) {
+    case EstimatorKind::kBc:
+    case EstimatorKind::kBcFull: {
+      SaphyraBcOptions opts;
+      opts.epsilon = req.epsilon;
+      opts.delta = req.delta;
+      opts.seed = req.seed;
+      opts.top_k = req.top_k;
+      opts.strategy = req.strategy;
+      opts.traversal = req.traversal;
+      opts.num_threads = threads;
+      if (req.estimator == EstimatorKind::kBcFull) {
+        SaphyraBcResult r = RunSaphyraBcFull(isp(), opts);
+        res.samples_used = r.samples_used;
+        ReportSubset(r.bc, req.targets, &res);
+      } else {
+        SaphyraBcResult r = RunSaphyraBc(isp(), req.targets, opts);
+        res.samples_used = r.samples_used;
+        res.nodes = req.targets;
+        res.estimates = std::move(r.bc);
+      }
+      break;
+    }
+    case EstimatorKind::kKPath: {
+      // The problem-class path of EstimateKPathCentrality, inlined to keep
+      // the sampling diagnostics. Walk sampling has no BFS, so the
+      // traversal field does not apply here.
+      SaphyraOptions opts;
+      opts.epsilon = req.epsilon;
+      opts.delta = req.delta;
+      opts.seed = req.seed;
+      opts.top_k = req.top_k;
+      opts.num_threads = threads;
+      std::vector<NodeId> targets =
+          req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
+      KPathProblem problem(graph_, targets, req.k);
+      SaphyraResult r = RunSaphyra(&problem, opts);
+      res.samples_used = r.samples_used;
+      res.nodes = std::move(targets);
+      res.estimates = std::move(r.combined_risks);
+      break;
+    }
+    case EstimatorKind::kCloseness: {
+      SaphyraOptions opts;
+      opts.epsilon = req.epsilon;
+      opts.delta = req.delta;
+      opts.seed = req.seed;
+      opts.top_k = req.top_k;
+      opts.num_threads = threads;
+      std::vector<NodeId> targets =
+          req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
+      HarmonicClosenessProblem problem(graph_, targets);
+      problem.set_traversal(req.traversal);
+      SaphyraResult r = RunSaphyra(&problem, opts);
+      res.samples_used = r.samples_used;
+      res.nodes = std::move(targets);
+      res.estimates.resize(r.combined_risks.size());
+      for (size_t i = 0; i < res.estimates.size(); ++i) {
+        res.estimates[i] = problem.RiskToCentrality(r.combined_risks[i]);
+      }
+      break;
+    }
+    case EstimatorKind::kAbra: {
+      AbraOptions opts;
+      opts.epsilon = req.epsilon;
+      opts.delta = req.delta;
+      opts.seed = req.seed;
+      opts.top_k = req.top_k;
+      opts.num_threads = threads;
+      AbraResult r = RunAbra(graph_, opts);
+      res.samples_used = r.samples_used;
+      ReportSubset(r.bc, req.targets, &res);
+      break;
+    }
+    case EstimatorKind::kKadabra: {
+      KadabraOptions opts;
+      opts.epsilon = req.epsilon;
+      opts.delta = req.delta;
+      opts.seed = req.seed;
+      opts.top_k = req.top_k;
+      opts.strategy = req.strategy;
+      opts.traversal = req.traversal;
+      opts.num_threads = threads;
+      KadabraResult r = RunKadabra(graph_, opts);
+      res.samples_used = r.samples_used;
+      ReportSubset(r.bc, req.targets, &res);
+      break;
+    }
+  }
+  res.seconds = timer.ElapsedSeconds();
+  return res;
+}
+
+}  // namespace saphyra

@@ -1,0 +1,106 @@
+#ifndef SAPHYRA_SERVICE_SESSION_H_
+#define SAPHYRA_SERVICE_SESSION_H_
+
+/// \file
+/// QuerySession: the warm half of the serving layer. Opens a graph once
+/// (cache-aware, LoadGraphAuto), owns the long-lived state every query
+/// shares — the graph, its content fingerprint, the lazily-built warm
+/// IspIndex with its component views, and the persistent SharedThreadPool
+/// — and answers a stream of heterogeneous queries without ever paying
+/// parse/decomposition again. This is what turns the per-process cost
+/// profile of `saphyra_rank` (load + index per query) into a per-session
+/// one (load + index once, then marginal sampling cost per query); the
+/// `serve_warm_speedup` benchmark metric measures exactly that gap.
+///
+/// Ownership/threading: a session is built once and then immutable from
+/// the queries' point of view. Run() is safe to call from multiple
+/// threads concurrently — estimator runs only read the shared graph/index
+/// and keep their sampling scratch in per-run problem instances; the lazy
+/// IspIndex build is guarded by std::call_once; and sample generation
+/// shares SharedThreadPool() through per-call task groups
+/// (util/thread_pool.h), so concurrent queries do not barrier on each
+/// other. Determinism: for a fixed canonicalized request, Run() returns
+/// bitwise-identical estimates on every call, cold or warm, whatever the
+/// thread count — see DESIGN.md, "Serving determinism contract".
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bicomp/isp.h"
+#include "graph/binary_io.h"
+#include "graph/graph.h"
+#include "service/query.h"
+#include "util/status.h"
+
+namespace saphyra {
+
+/// \brief Session-wide settings (per-query knobs live on QueryRequest).
+struct SessionOptions {
+  /// Graph loading (format, cache substitution, mmap) — LoadGraphAuto.
+  LoadGraphOptions load;
+  /// Default worker threads for queries that leave num_threads at 0.
+  uint32_t default_threads = 1;
+  /// Build the IspIndex at Open() instead of on the first bc query.
+  /// Off by default: sessions serving only ABRA/KADABRA/k-path/closeness
+  /// never need it.
+  bool eager_index = false;
+};
+
+/// \brief A loaded graph plus its warm per-session state, answering
+/// queries until destroyed.
+class QuerySession {
+ public:
+  /// \brief Load `graph_path` (text or `.sgr`; cache-aware) and build the
+  /// session around it. On success `*out` is ready for Run().
+  static Status Open(const std::string& graph_path,
+                     const SessionOptions& options,
+                     std::unique_ptr<QuerySession>* out);
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  /// \brief Content digest of the loaded graph: from the `.sgr` header
+  /// when the cache recorded one, computed otherwise. Keys the scheduler's
+  /// memo LRU, so results cached against one graph can never serve
+  /// another.
+  uint64_t fingerprint() const { return fingerprint_; }
+  bool loaded_from_cache() const { return loaded_from_cache_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// \brief The warm ISP index, building it on first use (thread-safe).
+  const IspIndex& isp();
+  /// \brief Whether the index has been built yet (diagnostics only).
+  bool index_built() const { return isp_ != nullptr; }
+
+  /// \brief Answer one query on the warm state. `req` is canonicalized
+  /// internally; invalid requests come back as an error result (the
+  /// status rides on QueryResult so one bad query in a batch cannot take
+  /// the batch down). Thread-safe.
+  QueryResult Run(const QueryRequest& req);
+
+ private:
+  friend class BatchScheduler;
+
+  QuerySession() = default;
+
+  /// \brief Run() minus validation: `req` must already be canonical. The
+  /// scheduler canonicalizes once to derive the cache key and enters
+  /// here, instead of paying a second copy + sort/dedup pass per query.
+  QueryResult RunCanonical(const QueryRequest& req);
+
+  SessionOptions options_;
+  Graph graph_;
+  /// Holds the persisted decomposition until the IspIndex adopts it.
+  GraphCache cache_;
+  uint64_t fingerprint_ = 0;
+  bool loaded_from_cache_ = false;
+  std::once_flag isp_once_;
+  std::unique_ptr<IspIndex> isp_;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_SERVICE_SESSION_H_

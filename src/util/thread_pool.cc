@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace saphyra {
 
@@ -24,22 +25,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(&default_group_, std::move(task));
+}
+
+void ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.push({std::move(task), group});
+    ++group->pending;
   }
   cv_task_.notify_one();
 }
 
-void ThreadPool::Wait() {
+void ThreadPool::Wait() { WaitGroup(&default_group_); }
+
+void ThreadPool::WaitGroup(TaskGroup* group) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  group->cv.wait(lock, [group] { return group->pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
@@ -50,11 +57,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    task.fn();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
+      if (--task.group->pending == 0) task.group->cv.notify_all();
     }
   }
 }
@@ -69,21 +75,23 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
                              size_t grain) {
   if (begin >= end) return;
   grain = std::max<size_t>(1, grain);
-  auto next = std::make_shared<std::atomic<size_t>>(begin);
+  // WaitGroup guarantees every task finishes before this frame returns,
+  // so the cursor and `body` can both live on the stack.
+  TaskGroup group;
+  std::atomic<size_t> next{begin};
   size_t chunks = (end - begin + grain - 1) / grain;
   size_t tasks = std::min(chunks, num_threads());
   for (size_t t = 0; t < tasks; ++t) {
-    Submit([next, begin, end, grain, &body] {
-      (void)begin;
+    Submit(&group, [&next, end, grain, &body] {
       for (;;) {
-        size_t lo = next->fetch_add(grain);
+        size_t lo = next.fetch_add(grain);
         if (lo >= end) break;
         size_t hi = std::min(end, lo + grain);
         for (size_t i = lo; i < hi; ++i) body(i);
       }
     });
   }
-  Wait();
+  WaitGroup(&group);
 }
 
 }  // namespace saphyra

@@ -14,11 +14,27 @@ namespace saphyra {
 
 /// \brief Minimal fixed-size thread pool.
 ///
-/// Used by the parallel Brandes ground-truth computation and the benchmark
-/// harness. Tasks are plain std::function<void()>; ParallelFor partitions an
-/// index range into contiguous chunks.
+/// Used by the sampling engine, the parallel Brandes ground-truth
+/// computation, and the benchmark harness. Tasks are plain
+/// std::function<void()>; ParallelFor partitions an index range into
+/// contiguous chunks.
+///
+/// Completion tracking is per TaskGroup: every Submit joins a group and
+/// WaitGroup blocks until that group alone drains, so independent drivers
+/// (e.g. concurrent QuerySession queries sharing SharedThreadPool) can
+/// interleave ParallelFor calls without barriering on each other's work.
+/// The zero-argument Submit/Wait pair keeps the legacy whole-pool
+/// semantics through a default group.
 class ThreadPool {
  public:
+  /// \brief Completion tracker for one batch of related tasks. Plain data
+  /// owned by the caller (stack allocation is fine); the pool's mutex
+  /// protects `pending`. Must outlive every task submitted against it.
+  struct TaskGroup {
+    size_t pending = 0;
+    std::condition_variable cv;
+  };
+
   /// \brief Create a pool with `num_threads` workers (0 = hardware threads).
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
@@ -28,29 +44,41 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// \brief Enqueue a task for asynchronous execution.
+  /// \brief Enqueue a task for asynchronous execution (default group).
   void Submit(std::function<void()> task);
 
-  /// \brief Block until all submitted tasks have completed.
+  /// \brief Enqueue a task against `group` for asynchronous execution.
+  void Submit(TaskGroup* group, std::function<void()> task);
+
+  /// \brief Block until all default-group tasks have completed.
   void Wait();
+
+  /// \brief Block until every task submitted against `group` has completed.
+  void WaitGroup(TaskGroup* group);
 
   /// \brief Run body(i) for every i in [begin, end) across the pool.
   ///
   /// Work is split dynamically in chunks of `grain` indices. Blocks until
-  /// the whole range is processed.
+  /// the whole range is processed. Uses a private TaskGroup, so concurrent
+  /// ParallelFor calls from different driver threads wait only on their
+  /// own range.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& body,
                    size_t grain = 1);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  size_t in_flight_ = 0;
+  TaskGroup default_group_;
   bool shutdown_ = false;
 };
 
@@ -62,7 +90,11 @@ class ThreadPool {
 /// std::threads per burst costs more than the burst itself on small rounds.
 /// They share this pool instead. The pool is a pure executor: callers must
 /// not encode any state in *which* pool thread runs a task, and nested
-/// Submit/Wait from inside a pool task is not allowed (single-driver use).
+/// Submit/Wait from inside a pool task is not allowed (it can deadlock a
+/// saturated pool). Multiple *driver threads* are fine: per-TaskGroup
+/// completion tracking keeps concurrent ParallelFor calls independent —
+/// the serving layer (src/service/) relies on this to run admitted
+/// queries side by side on one pool.
 ThreadPool& SharedThreadPool();
 
 }  // namespace saphyra

@@ -1,0 +1,431 @@
+// Unit coverage of the serving layer's building blocks: request parsing,
+// canonicalization, cache-key semantics, QuerySession state, and the
+// BatchScheduler's memo/dedup/LRU machinery. The bitwise serving
+// determinism contract has its own suite (serve_determinism_test.cc).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bicomp/isp.h"
+#include "graph/binary_io.h"
+#include "graph/io.h"
+#include "service/json_util.h"
+#include "service/query.h"
+#include "service/scheduler.h"
+#include "service/session.h"
+#include "test_util.h"
+
+namespace saphyra {
+namespace {
+
+using testing::PaperFig2Graph;
+using testing::RandomConnectedGraph;
+
+/// Per-process unique temp path (the fuzz sweeps taught this repo not to
+/// share /tmp fixture names across concurrently running test binaries).
+std::string TempPath(const std::string& stem) {
+  return "/tmp/saphyra_service_test_" + std::to_string(::getpid()) + "_" +
+         stem;
+}
+
+/// A text graph file + its full `.sgr` cache, removed on destruction.
+struct GraphFiles {
+  std::string text_path = TempPath("graph.txt");
+  std::string sgr_path;
+
+  explicit GraphFiles(const Graph& g) {
+    sgr_path = SgrCachePathFor(text_path);
+    SAPHYRA_CHECK(SaveSnapEdgeList(g, text_path).ok());
+    Graph parsed;
+    SAPHYRA_CHECK(LoadSnapEdgeList(text_path, &parsed).ok());
+    IspIndex isp(parsed);
+    SgrWriteOptions wopts;
+    wopts.source_path = text_path;
+    SAPHYRA_CHECK(WriteSgr(sgr_path, parsed, &isp.bcc(), &isp.conn(),
+                           &isp.views(), &isp.tree(), wopts)
+                      .ok());
+  }
+  ~GraphFiles() {
+    std::remove(text_path.c_str());
+    std::remove(sgr_path.c_str());
+  }
+};
+
+TEST(ParseQueryRequestTest, FullRequest) {
+  QueryRequest req;
+  ASSERT_TRUE(ParseQueryRequest(
+                  R"({"id":"q9","estimator":"kadabra","epsilon":0.1,)"
+                  R"("delta":0.02,"seed":99,"topk":5,"strategy":"unidirectional",)"
+                  R"("traversal":"topdown","threads":4,"targets":[3,1,2]})",
+                  &req)
+                  .ok());
+  EXPECT_EQ(req.id, "q9");
+  EXPECT_EQ(req.estimator, EstimatorKind::kKadabra);
+  EXPECT_DOUBLE_EQ(req.epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(req.delta, 0.02);
+  EXPECT_EQ(req.seed, 99u);
+  EXPECT_EQ(req.top_k, 5u);
+  EXPECT_EQ(req.strategy, SamplingStrategy::kUnidirectional);
+  EXPECT_EQ(req.traversal, TraversalPolicy::kTopDown);
+  EXPECT_EQ(req.num_threads, 4u);
+  EXPECT_EQ(req.targets, (std::vector<NodeId>{3, 1, 2}));
+}
+
+TEST(ParseQueryRequestTest, DefaultsMatchOptionStructs) {
+  QueryRequest req;
+  ASSERT_TRUE(ParseQueryRequest("{}", &req).ok());
+  EXPECT_EQ(req.estimator, EstimatorKind::kBc);
+  EXPECT_DOUBLE_EQ(req.epsilon, 0.05);
+  EXPECT_DOUBLE_EQ(req.delta, 0.01);
+  EXPECT_EQ(req.seed, 1u);
+  EXPECT_EQ(req.top_k, 0u);
+  EXPECT_TRUE(req.targets.empty());
+}
+
+TEST(ParseQueryRequestTest, Rejections) {
+  QueryRequest req;
+  // Unknown fields are hard errors: a typo must not silently run at the
+  // default.
+  EXPECT_FALSE(ParseQueryRequest(R"({"epsilonn":0.1})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"estimator":"brandes"})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"seed":-1})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"seed":1.5})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"targets":[1,"x"]})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"targets":7})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"strategy":"sideways"})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest("[1,2]", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest("not json", &req).ok());
+}
+
+TEST(CanonicalizeQueryTest, SortsDedupsAndPromotes) {
+  QueryRequest req;
+  req.estimator = EstimatorKind::kBc;
+  req.targets = {5, 1, 3, 1, 5};
+  ASSERT_TRUE(CanonicalizeQuery(10, &req).ok());
+  EXPECT_EQ(req.targets, (std::vector<NodeId>{1, 3, 5}));
+
+  QueryRequest full;
+  full.estimator = EstimatorKind::kBc;  // no targets
+  ASSERT_TRUE(CanonicalizeQuery(10, &full).ok());
+  EXPECT_EQ(full.estimator, EstimatorKind::kBcFull);
+}
+
+TEST(CanonicalizeQueryTest, ResetsInapplicableFields) {
+  QueryRequest req;
+  req.estimator = EstimatorKind::kCloseness;
+  req.strategy = SamplingStrategy::kUnidirectional;  // ignored by closeness
+  req.k = 9;                                         // ignored by closeness
+  req.targets = {0, 1};
+  ASSERT_TRUE(CanonicalizeQuery(10, &req).ok());
+  EXPECT_EQ(req.strategy, SamplingStrategy::kBidirectional);
+  EXPECT_EQ(req.k, 0u);
+}
+
+TEST(CanonicalizeQueryTest, Rejections) {
+  QueryRequest req;
+  req.targets = {11};
+  EXPECT_FALSE(CanonicalizeQuery(10, &req).ok());  // out of range
+  req = QueryRequest();
+  req.epsilon = 0.0;
+  EXPECT_FALSE(CanonicalizeQuery(10, &req).ok());
+  req = QueryRequest();
+  req.delta = 1.0;
+  EXPECT_FALSE(CanonicalizeQuery(10, &req).ok());
+  req = QueryRequest();
+  req.estimator = EstimatorKind::kKPath;
+  req.k = 0;
+  EXPECT_FALSE(CanonicalizeQuery(10, &req).ok());
+}
+
+TEST(QueryCacheKeyTest, StatisticalParametersSplitKeys) {
+  QueryRequest base;
+  base.estimator = EstimatorKind::kBc;
+  base.targets = {1, 2, 3};
+  ASSERT_TRUE(CanonicalizeQuery(10, &base).ok());
+  const QueryCacheKey key0 = MakeQueryCacheKey(0xABCD, base);
+
+  std::set<std::string> seen{key0.canonical};
+  auto expect_differs = [&](QueryRequest req, const char* what) {
+    ASSERT_TRUE(CanonicalizeQuery(10, &req).ok()) << what;
+    const QueryCacheKey key = MakeQueryCacheKey(0xABCD, req);
+    EXPECT_TRUE(seen.insert(key.canonical).second)
+        << what << " did not change the cache key";
+  };
+
+  QueryRequest req = base;
+  req.epsilon = 0.04;
+  expect_differs(req, "epsilon");
+  req = base;
+  req.delta = 0.02;
+  expect_differs(req, "delta");
+  req = base;
+  req.top_k = 2;
+  expect_differs(req, "top_k");
+  req = base;
+  req.strategy = SamplingStrategy::kUnidirectional;
+  expect_differs(req, "strategy");
+  req = base;
+  req.seed = 2;
+  expect_differs(req, "seed");
+  req = base;
+  req.targets = {1, 2, 4};
+  expect_differs(req, "targets");
+  req = base;
+  req.estimator = EstimatorKind::kKadabra;
+  expect_differs(req, "estimator");
+
+  // A different graph fingerprint always splits the key.
+  EXPECT_NE(MakeQueryCacheKey(0xABCE, base).canonical, key0.canonical);
+}
+
+TEST(QueryCacheKeyTest, ExecutionParametersShareKeys) {
+  QueryRequest base;
+  base.estimator = EstimatorKind::kBc;
+  base.targets = {1, 2, 3};
+  ASSERT_TRUE(CanonicalizeQuery(10, &base).ok());
+  const QueryCacheKey key0 = MakeQueryCacheKey(1, base);
+
+  QueryRequest req = base;
+  req.num_threads = 8;
+  req.traversal = TraversalPolicy::kTopDown;
+  ASSERT_TRUE(CanonicalizeQuery(10, &req).ok());
+  EXPECT_EQ(MakeQueryCacheKey(1, req), key0)
+      << "execution-only fields must not split cache entries";
+
+  // Target order and duplicates canonicalize away.
+  req = base;
+  req.targets = {3, 2, 1, 2};
+  ASSERT_TRUE(CanonicalizeQuery(10, &req).ok());
+  EXPECT_EQ(MakeQueryCacheKey(1, req), key0);
+
+  // k is inert for estimators that ignore it...
+  QueryRequest ka = base;
+  ka.estimator = EstimatorKind::kKadabra;
+  QueryRequest kb = ka;
+  ka.k = 3;
+  kb.k = 7;
+  ASSERT_TRUE(CanonicalizeQuery(10, &ka).ok());
+  ASSERT_TRUE(CanonicalizeQuery(10, &kb).ok());
+  EXPECT_EQ(MakeQueryCacheKey(1, ka), MakeQueryCacheKey(1, kb));
+
+  // ...but splits keys for k-path.
+  ka.estimator = kb.estimator = EstimatorKind::kKPath;
+  ka.k = 3;
+  kb.k = 7;
+  ASSERT_TRUE(CanonicalizeQuery(10, &ka).ok());
+  ASSERT_TRUE(CanonicalizeQuery(10, &kb).ok());
+  EXPECT_FALSE(MakeQueryCacheKey(1, ka) == MakeQueryCacheKey(1, kb));
+}
+
+TEST(FingerprintTest, StableAcrossLoadPaths) {
+  GraphFiles files(RandomConnectedGraph(40, 0.1, 11));
+
+  SessionOptions text_opts;
+  text_opts.load.use_cache = false;
+  std::unique_ptr<QuerySession> text_session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.text_path, text_opts, &text_session).ok());
+  EXPECT_FALSE(text_session->loaded_from_cache());
+
+  std::unique_ptr<QuerySession> sgr_session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &sgr_session).ok());
+  EXPECT_TRUE(sgr_session->loaded_from_cache());
+
+  // Same content ⇒ same fingerprint, whether computed from the text parse
+  // or read out of the `.sgr` header.
+  EXPECT_NE(text_session->fingerprint(), 0u);
+  EXPECT_EQ(text_session->fingerprint(), sgr_session->fingerprint());
+
+  // Different content ⇒ different fingerprint.
+  GraphFiles other(RandomConnectedGraph(40, 0.1, 12));
+  std::unique_ptr<QuerySession> other_session;
+  ASSERT_TRUE(
+      QuerySession::Open(other.sgr_path, SessionOptions(), &other_session)
+          .ok());
+  EXPECT_NE(other_session->fingerprint(), sgr_session->fingerprint());
+}
+
+TEST(QuerySessionTest, LazyIndexAndErrors) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.text_path, SessionOptions(), &session).ok());
+  EXPECT_FALSE(session->index_built());
+
+  // Non-bc queries never build the index.
+  QueryRequest req;
+  req.estimator = EstimatorKind::kCloseness;
+  req.targets = {0, 1, 2};
+  QueryResult res = session->Run(req);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_FALSE(session->index_built());
+  EXPECT_EQ(res.nodes.size(), res.estimates.size());
+
+  // A bc query does.
+  req.estimator = EstimatorKind::kBc;
+  res = session->Run(req);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_TRUE(session->index_built());
+
+  // Invalid requests come back as error results, not process death.
+  req.targets = {1000};
+  res = session->Run(req);
+  EXPECT_FALSE(res.status.ok());
+
+  // Unopenable graphs fail Open.
+  std::unique_ptr<QuerySession> bad;
+  EXPECT_FALSE(
+      QuerySession::Open(TempPath("missing.txt"), SessionOptions(), &bad)
+          .ok());
+}
+
+TEST(BatchSchedulerTest, MemoizationAndStats) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  BatchScheduler scheduler(session.get(), SchedulerOptions());
+
+  QueryRequest req;
+  req.estimator = EstimatorKind::kBc;
+  req.targets = {0, 2, 3};
+  req.seed = 5;
+
+  QueryResult first = scheduler.Run(req);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.mode, ServeMode::kComputed);
+
+  // Same canonical query (targets shuffled) hits the memo with identical
+  // estimate bytes.
+  req.targets = {3, 0, 2};
+  QueryResult second = scheduler.Run(req);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.mode, ServeMode::kMemoized);
+  ASSERT_EQ(first.estimates.size(), second.estimates.size());
+  EXPECT_EQ(std::memcmp(first.estimates.data(), second.estimates.data(),
+                        first.estimates.size() * sizeof(double)),
+            0);
+
+  // A different seed is a different query.
+  req.seed = 6;
+  QueryResult third = scheduler.Run(req);
+  EXPECT_EQ(third.mode, ServeMode::kComputed);
+
+  // An invalid request is counted and does not pollute the memo.
+  req.targets = {999};
+  EXPECT_FALSE(scheduler.Run(req).status.ok());
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.computed, 2u);
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST(BatchSchedulerTest, LruEvicts) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  SchedulerOptions opts;
+  opts.memo_capacity = 2;
+  BatchScheduler scheduler(session.get(), opts);
+
+  QueryRequest req;
+  req.estimator = EstimatorKind::kCloseness;
+  req.targets = {0, 1};
+
+  req.seed = 1;
+  scheduler.Run(req);  // memo: {1}
+  req.seed = 2;
+  scheduler.Run(req);  // memo: {2, 1}
+  req.seed = 1;
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);  // touch 1
+  req.seed = 3;
+  scheduler.Run(req);  // evicts 2 (least recent) -> memo: {3, 1}
+  req.seed = 2;
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kComputed);  // 2 is gone
+  // Re-inserting 2 evicted 1 -> memo: {2, 3}.
+  req.seed = 3;
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.evictions, 1u);
+
+  // memo_capacity = 0 disables memoization entirely.
+  SchedulerOptions off;
+  off.memo_capacity = 0;
+  BatchScheduler no_memo(session.get(), off);
+  req.seed = 1;
+  EXPECT_EQ(no_memo.Run(req).mode, ServeMode::kComputed);
+  EXPECT_EQ(no_memo.Run(req).mode, ServeMode::kComputed);
+}
+
+TEST(BatchSchedulerTest, BatchDedupsDuplicates) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  SchedulerOptions opts;
+  opts.max_concurrent = 4;
+  BatchScheduler scheduler(session.get(), opts);
+
+  QueryRequest req;
+  req.estimator = EstimatorKind::kKadabra;
+  req.epsilon = 0.2;
+  std::vector<QueryRequest> batch(6, req);  // six identical requests
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].id = "dup" + std::to_string(i);
+  }
+  std::vector<QueryResult> results = scheduler.RunBatch(batch);
+  ASSERT_EQ(results.size(), 6u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok());
+    EXPECT_EQ(results[i].id, "dup" + std::to_string(i));
+    ASSERT_EQ(results[0].estimates.size(), results[i].estimates.size());
+    EXPECT_EQ(std::memcmp(results[0].estimates.data(),
+                          results[i].estimates.data(),
+                          results[0].estimates.size() * sizeof(double)),
+              0);
+  }
+  // Exactly one execution; the other five either shared it in flight or
+  // hit the memo after it completed (timing decides which).
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.dedup_hits + stats.memo_hits, 5u);
+}
+
+TEST(SerializeQueryResultTest, Shapes) {
+  QueryResult res;
+  res.id = "q\"1";
+  res.estimator = EstimatorKind::kKPath;
+  res.mode = ServeMode::kMemoized;
+  res.samples_used = 77;
+  res.seconds = 0.25;
+  res.nodes = {4, 9};
+  res.estimates = {0.5, 1.0 / 3.0};
+  const std::string line = SerializeQueryResult(res);
+  EXPECT_EQ(line,
+            "{\"id\":\"q\\\"1\",\"ok\":true,\"estimator\":\"kpath\","
+            "\"served\":\"memo\",\"samples\":77,\"seconds\":0.25,"
+            "\"nodes\":[4,9],\"estimates\":[0.5," +
+                JsonNumber(1.0 / 3.0) + "]}");
+
+  QueryResult err;
+  err.id = "bad";
+  err.status = Status::InvalidArgument("nope");
+  EXPECT_EQ(SerializeQueryResult(err),
+            "{\"id\":\"bad\",\"ok\":false,\"error\":\"InvalidArgument: "
+            "nope\"}");
+}
+
+}  // namespace
+}  // namespace saphyra

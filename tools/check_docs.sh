@@ -1,47 +1,110 @@
 #!/usr/bin/env bash
-# Docs lint: the build/verify command users copy out of README.md must be
-# the repo's actual tier-1 verification line from ROADMAP.md. Run from
-# anywhere; CI runs it on every push.
+# Docs lint, run from anywhere; CI runs it on every push. Checks:
+#   1. The build/verify command users copy out of README.md is the repo's
+#      actual tier-1 verification line from ROADMAP.md.
+#   2. The saphyra_rank accuracy/mode flags stay documented in README.md
+#      and parsed by the tool (both directions).
+#   3. The headline benchmark metrics stay documented in README.md.
+#   4. Every --flag a tools/*.cc binary parses appears in docs/cli.md.
+#   5. Every metric key in BENCH_micro.json appears somewhere in the docs
+#      (README.md, DESIGN.md, or docs/*.md).
+#   6. Every relative markdown link in the doc set resolves to a file
+#      that exists.
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
 
+# --- 1. tier-1 verify line -------------------------------------------------
 tier1="$(sed -n 's/^\*\*Tier-1 verify:\*\* `\(.*\)`$/\1/p' "$REPO_ROOT/ROADMAP.md")"
 if [[ -z "$tier1" ]]; then
   echo "check_docs: could not extract the tier-1 verify line from ROADMAP.md" >&2
   exit 1
 fi
-
 if ! grep -qF "$tier1" "$REPO_ROOT/README.md"; then
   echo "check_docs: README.md build commands drifted from ROADMAP.md" >&2
   echo "  ROADMAP tier-1: $tier1" >&2
   echo "  (README.md must contain that exact command line)" >&2
-  exit 1
+  fail=1
 fi
 
-# The user-facing accuracy/mode flags of saphyra_rank are pinned in both
-# directions: they must stay documented in README.md, and the tool must
-# keep accepting the documented spellings.
+# --- 2. saphyra_rank accuracy flags, both directions -----------------------
 for flag in --epsilon --delta --topk --strategy; do
   if ! grep -qF -- "$flag" "$REPO_ROOT/README.md"; then
     echo "check_docs: README.md no longer documents the $flag flag" >&2
-    exit 1
+    fail=1
   fi
   if ! grep -qF -- "\"$flag\"" "$REPO_ROOT/tools/saphyra_rank.cc"; then
     echo "check_docs: tools/saphyra_rank.cc no longer parses $flag" >&2
-    exit 1
+    fail=1
   fi
 done
 
-# The tracked benchmark metrics must stay documented.
+# --- 3. headline metrics in README -----------------------------------------
 for metric in adaptive_sample_reduction path_sampling_speedup \
-              bfs_hybrid_speedup; do
+              bfs_hybrid_speedup serve_warm_speedup; do
   if ! grep -qF "$metric" "$REPO_ROOT/README.md"; then
     echo "check_docs: README.md no longer documents the $metric metric" >&2
-    exit 1
+    fail=1
   fi
 done
 
-echo "check_docs: README.md matches ROADMAP.md tier-1 verify line," \
-     "rank flags and benchmark metrics"
+# --- 4. every tool flag is in docs/cli.md ----------------------------------
+# A "parsed flag" is any quoted --long-option literal in a tools/*.cc file
+# (the comparison strings of the argument loops).
+cli_doc="$REPO_ROOT/docs/cli.md"
+if [[ ! -f "$cli_doc" ]]; then
+  echo "check_docs: docs/cli.md is missing" >&2
+  fail=1
+else
+  for tool_src in "$REPO_ROOT"/tools/*.cc; do
+    while IFS= read -r flag; do
+      if ! grep -qF -- "$flag" "$cli_doc"; then
+        echo "check_docs: $(basename "$tool_src") parses $flag but docs/cli.md does not document it" >&2
+        fail=1
+      fi
+    done < <(grep -oE '"--[a-z0-9-]+"' "$tool_src" | tr -d '"' | sort -u)
+  done
+fi
+
+# --- 5. every BENCH_micro.json key is documented somewhere -----------------
+bench_json="$REPO_ROOT/BENCH_micro.json"
+doc_files=("$REPO_ROOT/README.md" "$REPO_ROOT/DESIGN.md" "$REPO_ROOT"/docs/*.md)
+if [[ -f "$bench_json" ]]; then
+  while IFS= read -r key; do
+    if ! grep -qF -- "$key" "${doc_files[@]}"; then
+      echo "check_docs: BENCH_micro.json metric '$key' is not documented in any doc" >&2
+      fail=1
+    fi
+  done < <(grep -oE '"[A-Za-z0-9_]+"[[:space:]]*:' "$bench_json" \
+             | sed -E 's/"([A-Za-z0-9_]+)".*/\1/' | sort -u)
+else
+  echo "check_docs: BENCH_micro.json is missing" >&2
+  fail=1
+fi
+
+# --- 6. relative doc links resolve -----------------------------------------
+# Markdown inline links [text](target); URLs and pure #anchors are skipped,
+# in-file anchors of relative targets are stripped before the existence test.
+for doc in "${doc_files[@]}"; do
+  dir="$(dirname "$doc")"
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "check_docs: $(basename "$doc") links to '$target' which does not resolve" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_docs: README/ROADMAP tier-1 line, rank flags, headline metrics," \
+     "tool flags vs docs/cli.md, BENCH_micro.json key coverage and doc" \
+     "links all consistent"

@@ -1,0 +1,263 @@
+// saphyra_serve — multi-query serving front end.
+//
+// Loads a graph ONCE into a warm QuerySession (cache-aware: a fresh
+// `<graph>.sgr` is mmap'ed, preprocessing adopted), then answers a stream
+// of newline-delimited JSON query requests through the BatchScheduler:
+// concurrent admission, identical in-flight requests collapsed onto one
+// execution, completed results memoized in an LRU keyed by (graph
+// fingerprint, canonical query). Heterogeneous queries — bc, k-path,
+// closeness, ABRA, KADABRA, each with its own ε/δ/seed/strategy/top-k —
+// share the warm index and thread pool.
+//
+// Usage:
+//   saphyra_serve --graph FILE [--format snap|dimacs|sgr|auto]
+//                 [--requests FILE]      (default: stdin; "-" = stdin)
+//                 [--concurrency N]      (default 1: serial admission)
+//                 [--threads T]          (default sampling threads, def. 1)
+//                 [--memo-capacity M]    (LRU entries, default 64; 0 = off)
+//                 [--repeat R]           (serve the request list R times)
+//                 [--no-cache] [--output FILE] [--stats-json FILE]
+//
+// Request lines (see docs/serving.md for the full schema):
+//   {"id":"q1","estimator":"bc","epsilon":0.05,"delta":0.01,"seed":7,
+//    "targets":[1,2,3]}
+//   {"id":"q2","estimator":"kadabra","epsilon":0.1,"topk":10}
+//
+// One JSON result line per request, in request order:
+//   {"id":"q1","ok":true,"estimator":"bc","served":"computed",
+//    "samples":512,"seconds":0.004,"nodes":[1,2,3],"estimates":[...]}
+//
+// Estimates are deterministic: for a fixed seed a query returns
+// bitwise-identical values whether it runs cold, warm, batched or from
+// the memo (`served` tells which). Diagnostics and the final
+// latency/throughput summary go to stderr; --stats-json additionally
+// writes the summary as one JSON object.
+//
+// --repeat R re-serves the whole request list R times — the easy way to
+// watch the memo work: the second pass serves every line with
+// "served":"memo" at ~zero latency.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/query.h"
+#include "service/scheduler.h"
+#include "service/session.h"
+#include "util/timer.h"
+
+using namespace saphyra;
+
+namespace {
+
+struct Args {
+  std::string graph_path;
+  std::string format = "auto";
+  std::string requests_path = "-";
+  uint32_t concurrency = 1;
+  uint32_t threads = 1;
+  size_t memo_capacity = 64;
+  uint32_t repeat = 1;
+  bool no_cache = false;
+  std::string output;
+  std::string stats_json;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --graph FILE [--format snap|dimacs|sgr|auto]\n"
+      "          [--requests FILE] [--concurrency N] [--threads T]\n"
+      "          [--memo-capacity M] [--repeat R] [--no-cache]\n"
+      "          [--output FILE] [--stats-json FILE]\n",
+      argv0);
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* val = nullptr;
+    if (key == "--no-cache") {
+      args->no_cache = true;
+    } else if (key == "--graph" && (val = next())) {
+      args->graph_path = val;
+    } else if (key == "--format" && (val = next())) {
+      args->format = val;
+    } else if (key == "--requests" && (val = next())) {
+      args->requests_path = val;
+    } else if (key == "--concurrency" && (val = next())) {
+      args->concurrency = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
+    } else if (key == "--threads" && (val = next())) {
+      args->threads = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
+    } else if (key == "--memo-capacity" && (val = next())) {
+      args->memo_capacity = std::strtoull(val, nullptr, 10);
+    } else if (key == "--repeat" && (val = next())) {
+      args->repeat = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
+    } else if (key == "--output" && (val = next())) {
+      args->output = val;
+    } else if (key == "--stats-json" && (val = next())) {
+      args->stats_json = val;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n", key.c_str());
+      return false;
+    }
+  }
+  if (args->graph_path.empty()) {
+    std::fprintf(stderr, "--graph is required\n");
+    return false;
+  }
+  if (args->concurrency == 0 || args->repeat == 0) {
+    std::fprintf(stderr, "--concurrency and --repeat must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  // --- the cold part: pay load (and, lazily, the index) once ------------
+  Timer timer;
+  SessionOptions sopts;
+  sopts.load.format = args.format;
+  sopts.load.use_cache = !args.no_cache;
+  sopts.default_threads = std::max(1u, args.threads);
+  std::unique_ptr<QuerySession> session;
+  Status st = QuerySession::Open(args.graph_path, sopts, &session);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to open session: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  const double load_seconds = timer.ElapsedSeconds();
+  std::fprintf(stderr,
+               "session: %s in %s%s, fingerprint %016llx\n",
+               session->graph().DebugString().c_str(),
+               FormatDuration(load_seconds).c_str(),
+               session->loaded_from_cache() ? " (.sgr cache)" : "",
+               static_cast<unsigned long long>(session->fingerprint()));
+
+  // --- read the request list --------------------------------------------
+  std::ifstream req_file;
+  std::istream* in = &std::cin;
+  if (args.requests_path != "-") {
+    req_file.open(args.requests_path);
+    if (!req_file) {
+      std::fprintf(stderr, "cannot open requests file %s\n",
+                   args.requests_path.c_str());
+      return 1;
+    }
+    in = &req_file;
+  }
+  std::vector<QueryRequest> requests;
+  std::vector<QueryResult> parse_errors;  // bad lines answered in place
+  std::vector<int> line_kind;             // 0 = request idx, 1 = error idx
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    // Blank lines and # comments keep checked-in request files readable.
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    QueryRequest req;
+    Status pst = ParseQueryRequest(line, &req);
+    if (!pst.ok()) {
+      QueryResult bad;
+      bad.id = "line:" + std::to_string(lineno);
+      bad.status = pst;
+      parse_errors.push_back(std::move(bad));
+      line_kind.push_back(1);
+      continue;
+    }
+    if (req.id.empty()) req.id = "line:" + std::to_string(lineno);
+    requests.push_back(std::move(req));
+    line_kind.push_back(0);
+  }
+  std::fprintf(stderr, "requests: %zu parsed, %zu invalid\n", requests.size(),
+               parse_errors.size());
+
+  // --- serve -------------------------------------------------------------
+  SchedulerOptions schopts;
+  schopts.max_concurrent = args.concurrency;
+  schopts.memo_capacity = args.memo_capacity;
+  BatchScheduler scheduler(session.get(), schopts);
+
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (!args.output.empty()) {
+    file_out.open(args.output);
+    if (!file_out) {
+      std::fprintf(stderr, "cannot open %s\n", args.output.c_str());
+      return 1;
+    }
+    out = &file_out;
+  }
+
+  timer.Restart();
+  uint64_t answered = 0;
+  double max_query_seconds = 0.0;
+  bool any_error = !parse_errors.empty();
+  for (uint32_t pass = 0; pass < args.repeat; ++pass) {
+    std::vector<QueryResult> results = scheduler.RunBatch(requests);
+    // Emit in input-line order, interleaving the parse failures where
+    // their lines sat.
+    size_t ri = 0, ei = 0;
+    for (int kind : line_kind) {
+      const QueryResult& res =
+          kind == 0 ? results[ri++] : parse_errors[ei++];
+      *out << SerializeQueryResult(res) << '\n';
+      ++answered;
+      if (!res.status.ok()) any_error = true;
+      max_query_seconds = std::max(max_query_seconds, res.seconds);
+    }
+  }
+  out->flush();
+  const double serve_seconds = timer.ElapsedSeconds();
+  const SchedulerStats stats = scheduler.stats();
+  const double qps =
+      serve_seconds > 0.0 ? static_cast<double>(answered) / serve_seconds : 0.0;
+
+  std::fprintf(stderr,
+               "served %llu queries in %s (%.1f q/s): %llu computed, "
+               "%llu memo, %llu dedup, %llu invalid; max query %s\n",
+               static_cast<unsigned long long>(answered),
+               FormatDuration(serve_seconds).c_str(), qps,
+               static_cast<unsigned long long>(stats.computed),
+               static_cast<unsigned long long>(stats.memo_hits),
+               static_cast<unsigned long long>(stats.dedup_hits),
+               static_cast<unsigned long long>(
+                   stats.errors + parse_errors.size() * args.repeat),
+               FormatDuration(max_query_seconds).c_str());
+
+  if (!args.stats_json.empty()) {
+    std::ofstream sj(args.stats_json);
+    if (!sj) {
+      std::fprintf(stderr, "cannot open %s\n", args.stats_json.c_str());
+      return 1;
+    }
+    sj << "{\"queries\":" << answered << ",\"computed\":" << stats.computed
+       << ",\"memo_hits\":" << stats.memo_hits
+       << ",\"dedup_hits\":" << stats.dedup_hits
+       << ",\"invalid\":" << stats.errors + parse_errors.size() * args.repeat
+       << ",\"load_seconds\":" << load_seconds
+       << ",\"serve_seconds\":" << serve_seconds
+       << ",\"queries_per_second\":" << qps << "}\n";
+  }
+  return any_error ? 3 : 0;
+}
