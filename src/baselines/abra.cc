@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "bc/vc_bc.h"
@@ -228,9 +229,14 @@ AbraResult RunAbra(const Graph& g, const AbraOptions& options) {
   const double eps = options.epsilon;
   const double vc = RiondatoVcBound(g);  // two BFS sweeps — compute once
   AbraProblem problem(g, vc);
-  const ProgressiveOptions schedule =
+  ProgressiveOptions schedule =
       MakeVcCappedSchedule(eps, options.delta, vc, options.vc_constant,
                            options.max_wave, options.num_threads);
+  schedule.cancel = options.cancel;
+  if (options.cancel != nullptr && options.cancel->CanExpire() &&
+      schedule.max_wave == 0) {
+    schedule.max_wave = 1024;  // poll often enough for the deadline to bite
+  }
 
   ProgressiveSampler sampler(&problem, schedule, &rng);
   ProgressiveResult run;
@@ -241,10 +247,21 @@ AbraResult RunAbra(const Graph& g, const AbraOptions& options) {
                             /*offsets=*/{}, /*scale=*/1.0);
     run = sampler.Run(&rule);
     result.final_bound = rule.last_gap();
+    if (run.degraded) {
+      result.epsilon_achieved = rule.EvaluateWorstHalfwidth(run.stats);
+    }
   } else {
     RademacherRule rule(eps, options.delta);
     run = sampler.Run(&rule);
     result.final_bound = rule.last_bound();
+    if (run.degraded) {
+      // The truncation-point diagnostic evaluation in the run loop left
+      // last_bound() at the achieved Rademacher bound — valid only once a
+      // second sample exists (the bound divides by N).
+      result.epsilon_achieved =
+          run.stats.n >= 2 ? rule.last_bound()
+                           : std::numeric_limits<double>::infinity();
+    }
   }
 
   for (NodeId w = 0; w < n; ++w) {
@@ -252,6 +269,8 @@ AbraResult RunAbra(const Graph& g, const AbraOptions& options) {
   }
   result.samples_used = run.samples_used;
   result.epochs = run.checks_used;
+  result.degraded = run.degraded;
+  result.degrade_reason = run.degrade_reason;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/cancel.h"
 
 namespace saphyra {
 
@@ -27,6 +28,10 @@ struct AbraOptions {
   /// Samples per engine wave (0 = one wave per stopping check); batching
   /// granularity only, never affects results.
   uint64_t max_wave = 0;
+  /// Optional cooperative cancellation/deadline (see util/cancel.h): on
+  /// expiry the run returns completed-wave estimates tagged degraded.
+  /// Borrowed; must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Output of ABRA.
@@ -40,6 +45,14 @@ struct AbraResult {
   /// separation gap (top-k mode; ≥ 0 iff separation was reached).
   double final_bound = 0.0;
   double seconds = 0.0;
+  /// Deadline/cancel truncation: estimates cover completed waves only and
+  /// the (ε, δ) guarantee does NOT hold.
+  bool degraded = false;
+  StatusCode degrade_reason = StatusCode::kOk;
+  /// Only when degraded: the Rademacher bound (ε mode) or widest
+  /// confidence half-width (top-k mode) actually achieved; infinity when
+  /// truncation preceded any variance estimate.
+  double epsilon_achieved = 0.0;
 };
 
 /// \brief ABRA: progressive node-pair sampling with a Rademacher-average

@@ -85,9 +85,14 @@ KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
   const double eps = options.epsilon;
   const double vc = RiondatoVcBound(g);  // two BFS sweeps — compute once
   KadabraProblem problem(g, options.strategy, options.traversal, vc);
-  const ProgressiveOptions schedule =
+  ProgressiveOptions schedule =
       MakeVcCappedSchedule(eps, options.delta, vc, options.vc_constant,
                            options.max_wave, options.num_threads);
+  schedule.cancel = options.cancel;
+  if (options.cancel != nullptr && options.cancel->CanExpire() &&
+      schedule.max_wave == 0) {
+    schedule.max_wave = 1024;  // poll often enough for the deadline to bite
+  }
 
   // The adaptive scheme of [12] with its union-bound bookkeeping
   // simplified to uniform weights: δ split over n nodes, two tails, and
@@ -98,9 +103,15 @@ KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
     TopKSeparationRule rule(options.top_k, options.delta, /*deltas=*/{},
                             /*offsets=*/{}, /*scale=*/1.0);
     run = sampler.Run(&rule);
+    if (run.degraded) {
+      result.epsilon_achieved = rule.EvaluateWorstHalfwidth(run.stats);
+    }
   } else {
     EpsilonGuaranteeRule rule(eps, options.delta, n);
     run = sampler.Run(&rule);
+    if (run.degraded) {
+      result.epsilon_achieved = rule.EvaluateWorstEpsilon(run.stats);
+    }
   }
 
   const uint64_t samples = run.samples_used;
@@ -110,6 +121,8 @@ KadabraResult RunKadabra(const Graph& g, const KadabraOptions& options) {
   result.samples_used = samples;
   result.epochs = run.checks_used;
   result.stopped_early = run.stopped_early;
+  result.degraded = run.degraded;
+  result.degrade_reason = run.degrade_reason;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

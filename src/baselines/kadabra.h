@@ -6,6 +6,7 @@
 
 #include "bc/path_sampler.h"
 #include "graph/graph.h"
+#include "util/cancel.h"
 
 namespace saphyra {
 
@@ -34,6 +35,10 @@ struct KadabraOptions {
   /// Samples per engine wave (0 = one wave per stopping check); batching
   /// granularity only, never affects results.
   uint64_t max_wave = 0;
+  /// Optional cooperative cancellation/deadline (see util/cancel.h): on
+  /// expiry the run returns completed-wave estimates tagged degraded.
+  /// Borrowed; must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Output of KADABRA.
@@ -45,6 +50,14 @@ struct KadabraResult {
   uint32_t epochs = 0;
   double seconds = 0.0;
   bool stopped_early = false;
+  /// Deadline/cancel truncation: estimates cover completed waves only and
+  /// the (ε, δ) guarantee does NOT hold.
+  bool degraded = false;
+  StatusCode degrade_reason = StatusCode::kOk;
+  /// Only when degraded: the per-node Bernstein bound (ε mode) or widest
+  /// confidence half-width (top-k mode) actually achieved; infinity when
+  /// truncation preceded any variance estimate.
+  double epsilon_achieved = 0.0;
 };
 
 /// \brief KADABRA: adaptive uniform path sampling.

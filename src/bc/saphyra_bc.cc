@@ -138,6 +138,7 @@ SaphyraBcResult RunSaphyraBc(const IspIndex& isp,
   fw.top_k = options.top_k;
   fw.max_wave = options.max_wave;
   fw.traversal = options.traversal;
+  fw.cancel = options.cancel;
   if (options.top_k > 0) {
     // b̃c(v) = bc_a(v) + γη·ℓ_v: separation must rank by the final bc, so
     // the break-point mass enters the rule as an offset in ℓ units.
@@ -157,6 +158,10 @@ SaphyraBcResult RunSaphyraBc(const IspIndex& isp,
   result.samples_used = inner.samples_used;
   result.max_samples = inner.max_samples;
   result.stopped_early = inner.stopped_early;
+  result.degraded = inner.degraded;
+  result.degrade_reason = inner.degrade_reason;
+  // b̃c = bc_a + γη·ℓ, so a deviation bound on ℓ scales by γη in bc units.
+  if (inner.degraded) result.epsilon_achieved = ge * inner.epsilon_achieved;
   result.rejected_samples = problem.rejected();
   result.exact_seconds = problem.exact_seconds();
   result.sampling_seconds -= result.exact_seconds;

@@ -43,6 +43,10 @@ struct SaphyraBcOptions {
   /// Samples per engine wave (0 = one wave per stopping check); batching
   /// granularity only, never affects results.
   uint64_t max_wave = 0;
+  /// Optional cooperative cancellation/deadline (see util/cancel.h): on
+  /// expiry the run returns completed-wave estimates tagged degraded.
+  /// Borrowed; must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Output of SaPHyRa_bc.
@@ -61,6 +65,15 @@ struct SaphyraBcResult {
   uint64_t max_samples = 0;
   uint64_t rejected_samples = 0;  ///< Gen_bc rejections (Alg. 2 line 6)
   bool stopped_early = false;     ///< Bernstein stop before the VC cap
+  /// Deadline/cancel truncation: estimates cover completed waves only and
+  /// Theorem 24's guarantee does NOT hold (but the bits are deterministic
+  /// for a fixed seed and samples_used).
+  bool degraded = false;
+  StatusCode degrade_reason = StatusCode::kOk;
+  /// Only when degraded: the deviation bound actually achieved, in bc
+  /// units (γη × the framework's combined-risk bound); infinity when
+  /// truncation preceded any variance estimate.
+  double epsilon_achieved = 0.0;
   double exact_seconds = 0.0;     ///< Exact_bc time
   double sampling_seconds = 0.0;  ///< adaptive sampling time
   double total_seconds = 0.0;

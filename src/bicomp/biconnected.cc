@@ -1,6 +1,7 @@
 #include "bicomp/biconnected.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.h"
 
@@ -39,8 +40,18 @@ constexpr EdgeIndex kNoArc = static_cast<EdgeIndex>(-1);
 }  // namespace
 
 BiconnectedComponents ComputeBiconnectedComponents(const Graph& g) {
-  const NodeId n = g.num_nodes();
   BiconnectedComponents out;
+  // Unlimited depth cannot fail.
+  Status st = ComputeBiconnectedComponentsBounded(g, 0, &out);
+  SAPHYRA_CHECK(st.ok());
+  return out;
+}
+
+Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
+                                           BiconnectedComponents* result) {
+  const NodeId n = g.num_nodes();
+  BiconnectedComponents& out = *result;
+  out = BiconnectedComponents();
   out.arc_component.assign(g.num_arcs(), kInvalidComp);
   out.is_cutpoint.assign(n, 0);
   out.node_component.assign(n, kInvalidComp);
@@ -82,6 +93,12 @@ BiconnectedComponents ComputeBiconnectedComponents(const Graph& g) {
         }
         if (disc[w] == 0) {
           // Tree edge.
+          if (max_depth != 0 && stack.size() >= max_depth) {
+            return Status::FailedPrecondition(
+                "graph too deep for recursive decomposition (DFS depth > " +
+                std::to_string(max_depth) +
+                "); see the ROADMAP parallel-BCC item");
+          }
           disc[w] = low[w] = ++timer;
           edge_stack.push_back(e);
           if (f.v == root) ++root_children;
@@ -143,7 +160,7 @@ BiconnectedComponents ComputeBiconnectedComponents(const Graph& g) {
     SAPHYRA_CHECK((out.cutpoint_comp_count_[v] > 1) ==
                   (out.is_cutpoint[v] != 0));
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace saphyra

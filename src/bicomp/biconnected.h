@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace saphyra {
 
@@ -55,6 +56,14 @@ struct BiconnectedComponents {
 
 /// \brief Run the decomposition. O(n + m).
 BiconnectedComponents ComputeBiconnectedComponents(const Graph& g);
+
+/// \brief The decomposition with an explicit DFS depth guard: fails with
+/// FailedPrecondition once the (heap-allocated) DFS stack would exceed
+/// `max_depth` frames, instead of spending unbounded memory on a
+/// path-like graph. `max_depth` = 0 means unlimited. On error `*out` is
+/// left in an unspecified state and must not be used.
+Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
+                                           BiconnectedComponents* out);
 
 /// \brief Compute the reverse-arc map alone (used by tests/samplers).
 std::vector<EdgeIndex> ComputeReverseArcs(const Graph& g);

@@ -6,6 +6,7 @@
 
 #include "stats/empirical_bernstein.h"
 #include "stats/vc.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -103,6 +104,20 @@ bool EpsilonGuaranteeRule::ShouldStop(const SampleStats& stats) {
   return worst <= epsilon_;
 }
 
+double EpsilonGuaranteeRule::EvaluateWorstEpsilon(
+    const SampleStats& stats) const {
+  if (stats.n < 2 || deltas_.size() != stats.counts.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (size_t i = 0; i < deltas_.size(); ++i) {
+    worst = std::max(worst, EmpiricalBernsteinEpsilon(
+                                stats.n, deltas_[i],
+                                stats.sample_variance(i)));
+  }
+  return worst;
+}
+
 TopKSeparationRule::TopKSeparationRule(size_t k, double delta,
                                        std::vector<double> deltas,
                                        std::vector<double> offsets,
@@ -179,6 +194,26 @@ bool TopKSeparationRule::ShouldStop(const SampleStats& stats) {
   return last_gap_ >= 0.0;
 }
 
+double TopKSeparationRule::EvaluateWorstHalfwidth(const SampleStats& stats) {
+  const size_t n_hyp = stats.counts.size();
+  if (stats.n < 2 || n_hyp == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (deltas_.empty()) {
+    deltas_.assign(n_hyp, per_check_delta_ /
+                              (2.0 * static_cast<double>(n_hyp)));
+  }
+  SAPHYRA_CHECK(deltas_.size() == n_hyp);
+  double worst = 0.0;
+  for (size_t i = 0; i < n_hyp; ++i) {
+    worst = std::max(worst,
+                     scale_ * EmpiricalBernsteinEpsilon(
+                                  stats.n, deltas_[i],
+                                  stats.sample_variance(i)));
+  }
+  return worst;
+}
+
 ProgressiveSampler::ProgressiveSampler(HypothesisRankingProblem* problem,
                                        const ProgressiveOptions& options,
                                        Rng* base_rng)
@@ -202,6 +237,18 @@ ProgressiveResult ProgressiveSampler::Run(StoppingRule* rule) {
     // Waves only accumulate; the O(k) statistics are materialized once
     // per checkpoint, where a stopping rule actually reads them.
     while (n < checkpoint) {
+      // Cancellation is polled only here, at wave boundaries: an expiry
+      // truncates to *completed* waves, so the statistics below are a
+      // pure function of (seed, n) whatever the wall clock did.
+      if (options_.cancel != nullptr) {
+        const StatusCode why = options_.cancel->Poll();
+        if (why != StatusCode::kOk) {
+          result.degraded = true;
+          result.degrade_reason = why;
+          break;
+        }
+      }
+      fail::MaybeFault("sampler.wave");
       uint64_t wave_target =
           options_.max_wave == 0
               ? checkpoint
@@ -211,6 +258,13 @@ ProgressiveResult ProgressiveSampler::Run(StoppingRule* rule) {
     }
     engine_.SnapshotStats(n, &result.stats);
     ++result.checks_used;
+    if (result.degraded) {
+      // Truncated between checkpoints: evaluate the rule once at the
+      // truncation point for its diagnostics (achieved ε / gap), but the
+      // stop is the token's, not the rule's — no guarantee is claimed.
+      if (n >= 2) rule->ShouldStop(result.stats);
+      break;
+    }
     if (rule->ShouldStop(result.stats)) {
       result.stopped_early = n < n_max;
       break;

@@ -36,6 +36,7 @@
 
 #include "core/sample_engine.h"
 #include "core/saphyra.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace saphyra {
@@ -63,6 +64,13 @@ struct ProgressiveOptions {
   /// Logical RNG stripes (0 = kDefaultSampleStripes). Part of the seed:
   /// different stripe counts draw different (equally valid) streams.
   uint32_t stripes = 0;
+  /// Optional cooperative cancellation, polled once per wave (null =
+  /// never stops early). On expiry the run finalizes from completed waves
+  /// only and is tagged degraded; polling happens at deterministic wave
+  /// boundaries, so the truncated statistics are a pure function of
+  /// (seed, truncation point) — see util/cancel.h. Borrowed; must outlive
+  /// the run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Number of stopping-rule checkpoints the schedule will evaluate:
@@ -130,8 +138,16 @@ class EpsilonGuaranteeRule : public StoppingRule {
              uint32_t planned_checks) override;
   bool ShouldStop(const SampleStats& stats) override;
 
-  /// Worst per-hypothesis deviation bound of the last evaluation.
+  /// Worst per-hypothesis deviation bound of the last evaluation. May be
+  /// an underestimate when the last check failed early (ShouldStop breaks
+  /// at the first hypothesis over budget); use EvaluateWorstEpsilon for
+  /// the exact value.
   double last_worst_epsilon() const { return last_worst_epsilon_; }
+
+  /// Exact worst-case deviation bound over *all* hypotheses at `stats` —
+  /// the achieved ε a degraded (deadline-truncated) run reports. Infinity
+  /// when fewer than two samples were drawn (no variance estimate).
+  double EvaluateWorstEpsilon(const SampleStats& stats) const;
 
  private:
   double epsilon_;
@@ -168,6 +184,12 @@ class TopKSeparationRule : public StoppingRule {
   /// last evaluation; ≥ 0 once separated.
   double last_gap() const { return last_gap_; }
 
+  /// Largest per-hypothesis confidence half-width at `stats`, in the same
+  /// (scaled) units as the values — the achieved accuracy a degraded
+  /// top-k run reports. Infinity when fewer than two samples were drawn.
+  /// Non-const because uniform δ allocation materializes lazily.
+  double EvaluateWorstHalfwidth(const SampleStats& stats);
+
  private:
   size_t k_;
   double delta_total_;
@@ -188,6 +210,13 @@ struct ProgressiveResult {
   uint32_t checks_used = 0;    ///< stopping-rule evaluations
   uint32_t waves_used = 0;     ///< engine batches drawn
   bool stopped_early = false;  ///< rule fired before Nmax
+  /// The cancel token fired before the rule or Nmax: the statistics cover
+  /// completed waves only and the rule's guarantee does NOT hold. Still
+  /// deterministic for a fixed (seed, samples_used) — see util/cancel.h.
+  bool degraded = false;
+  /// Why the run degraded: kDeadlineExceeded or kCancelled (kOk unless
+  /// `degraded`).
+  StatusCode degrade_reason = StatusCode::kOk;
 };
 
 /// \brief The shared wave scheduler. Owns a pooled SampleEngine over the

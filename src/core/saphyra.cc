@@ -29,6 +29,13 @@ ProgressiveOptions ScheduleFor(const SaphyraOptions& options, uint64_t n0,
   schedule.growth = 2.0;  // Algorithm 1's doubling schedule
   schedule.max_wave = options.max_wave;
   schedule.num_threads = options.num_threads;
+  schedule.cancel = options.cancel;
+  // A bounded run must reach wave boundaries often enough for the poll to
+  // matter; an unbounded wave would only notice expiry at the checkpoint.
+  if (options.cancel != nullptr && options.cancel->CanExpire() &&
+      schedule.max_wave == 0) {
+    schedule.max_wave = 1024;
+  }
   return schedule;
 }
 
@@ -87,8 +94,17 @@ SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
     FixedBudgetRule pilot_rule;
     ProgressiveResult pilot_run = pilot.Run(&pilot_rule);
     result.pilot_samples = pilot_run.samples_used;
-    for (size_t i = 0; i < k; ++i) {
-      pilot_vars[i] = pilot_run.stats.sample_variance(i);
+    if (pilot_run.stats.n >= 2) {
+      for (size_t i = 0; i < k; ++i) {
+        pilot_vars[i] = pilot_run.stats.sample_variance(i);
+      }
+    } else {
+      // A cancel truncated the pilot before a variance estimate existed:
+      // fall back to the worst-case [0,1] variance, which makes the δ
+      // allocation uniform-conservative. The main run below will degrade
+      // almost immediately anyway; its truncated bits stay deterministic
+      // because this fallback is, too.
+      pilot_vars.assign(k, 0.25);
     }
   }
   // The δ budget must be split over exactly the checkpoints the main
@@ -123,14 +139,25 @@ SaphyraResult RunSaphyra(HypothesisRankingProblem* problem,
     TopKSeparationRule rule(options.top_k, options.delta, std::move(deltas),
                             std::move(offsets), lambda);
     run = sampler.Run(&rule);
+    // Half-widths are already in combined-risk units (the rule scales by
+    // λ), so a degraded top-k run reports them as its achieved accuracy.
+    if (run.degraded) {
+      result.epsilon_achieved = rule.EvaluateWorstHalfwidth(run.stats);
+    }
   } else {
     EpsilonGuaranteeRule rule(eps_prime, std::move(deltas));
     run = sampler.Run(&rule);
+    if (run.degraded) {
+      // The rule bounds the approximate part at ε′ = ε/λ; scale back.
+      result.epsilon_achieved = lambda * rule.EvaluateWorstEpsilon(run.stats);
+    }
   }
   result.samples_used = run.samples_used;
   result.rounds_used = run.checks_used;
   result.waves_used = run.waves_used;
   result.stopped_early = run.stopped_early;
+  result.degraded = run.degraded;
+  result.degrade_reason = run.degrade_reason;
 
   // Lines 19-21: combine.
   for (size_t i = 0; i < k; ++i) {
@@ -166,6 +193,13 @@ SaphyraResult RunDirectEstimation(HypothesisRankingProblem* problem,
   result.samples_used = result.max_samples = run.samples_used;
   result.rounds_used = run.checks_used;
   result.waves_used = run.waves_used;
+  result.degraded = run.degraded;
+  result.degrade_reason = run.degrade_reason;
+  if (run.degraded) {
+    // Direct estimation's guarantee comes from the VC bound at the full
+    // budget; a truncated run claims nothing.
+    result.epsilon_achieved = std::numeric_limits<double>::infinity();
+  }
   for (size_t i = 0; i < k; ++i) {
     result.approx_risks[i] = run.stats.mean(i);
     result.combined_risks[i] = result.approx_risks[i];

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/frontier.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace saphyra {
@@ -136,6 +137,13 @@ struct SaphyraOptions {
   /// push. Execution choice only — results are bitwise identical either
   /// way (see DESIGN.md, "Direction-optimizing traversal").
   TraversalPolicy traversal = TraversalPolicy::kAuto;
+  /// Optional cooperative cancellation/deadline, polled at wave
+  /// boundaries of both the pilot and the main loop (null = run to
+  /// completion). On expiry the run finalizes from completed waves and
+  /// the result is tagged degraded with the accuracy actually achieved —
+  /// see util/cancel.h and DESIGN.md, "Degradation contract". Borrowed;
+  /// must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Diagnostics and output of Algorithm 1.
@@ -159,6 +167,18 @@ struct SaphyraResult {
   /// True if the stopping rule (Bernstein ε-guarantee, or top-k
   /// separation in top-k mode) triggered before Nmax.
   bool stopped_early = false;
+  /// The cancel token fired first: estimates come from completed waves
+  /// only and the (ε, δ) guarantee does NOT hold. Deterministic for a
+  /// fixed (seed, samples_used) — see DESIGN.md, "Degradation contract".
+  bool degraded = false;
+  /// kDeadlineExceeded or kCancelled when degraded; kOk otherwise.
+  StatusCode degrade_reason = StatusCode::kOk;
+  /// Only meaningful when degraded: the worst-case deviation bound the
+  /// truncated run actually achieves, in combined-risk units (ε-mode: the
+  /// λ-scaled Bernstein bound over all hypotheses; top-k mode: the widest
+  /// confidence half-width). Infinity when truncation preceded the second
+  /// sample (no variance estimate yet).
+  double epsilon_achieved = 0.0;
 };
 
 /// \brief Run Algorithm 1 (SaPHyRa) on a problem instance.

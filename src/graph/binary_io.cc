@@ -1,5 +1,7 @@
 #include "graph/binary_io.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "graph/io.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/mapped_file.h"
 
@@ -337,28 +340,49 @@ Status WriteSgr(const std::string& path, const Graph& g,
     cursor = AlignUp(cursor + p.count * p.elem_bytes);
   }
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Atomic publish: write a sibling temp file, fsync it, then rename over
+  // the final path. A reader racing the write (or a crash/ENOSPC mid-way)
+  // sees either the previous complete file or none — never a torn `.sgr`.
+  // The fixed temp name means concurrent writers of the *same* path race
+  // each other, but each still publishes only complete bytes.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open " + path + " for writing");
+    return Status::IOError("cannot open " + tmp_path + " for writing");
   }
   SectionWriter w(f);
   w.Write(&hdr, sizeof(hdr));
   w.Write(table.data(), table.size() * sizeof(SgrSection));
+  Status write_st = Status::OK();
   for (size_t i = 0; i < pending.size(); ++i) {
+    // Mid-payload fault site: an injected short write/ENOSPC lands after
+    // some sections already hit the disk but before the rename publishes.
+    write_st = fail::FaultStatus("sgr.write");
+    if (!write_st.ok()) break;
     w.PadTo(table[i].offset);
     w.Write(pending[i].data, pending[i].count * pending[i].elem_bytes);
   }
-  bool ok = w.ok();
+  bool ok = write_st.ok() && w.ok();
+  if (ok) ok = std::fflush(f) == 0;
+  // rename() only orders metadata; the payload needs its own fsync or a
+  // crash right after publish could surface a complete-looking empty file.
+  if (ok) ok = ::fsync(fileno(f)) == 0;
   ok = std::fclose(f) == 0 && ok;  // always close, even after a failed write
   if (!ok) {
-    std::remove(path.c_str());
-    return Status::IOError("write failure on " + path);
+    std::remove(tmp_path.c_str());
+    return write_st.ok() ? Status::IOError("write failure on " + tmp_path)
+                         : write_st;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot publish " + path + " (rename failed)");
   }
   return Status::OK();
 }
 
 Status LoadSgr(const std::string& path, GraphCache* out,
                const SgrReadOptions& options) {
+  SAPHYRA_RETURN_NOT_OK(fail::FaultStatus("sgr.load"));
   std::shared_ptr<MappedFile> file;
   SAPHYRA_RETURN_NOT_OK(MappedFile::Open(path, &file, options.prefer_mmap));
   const std::span<const std::byte> bytes = file->bytes();

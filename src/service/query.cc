@@ -1,6 +1,7 @@
 #include "service/query.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "service/json_util.h"
 #include "util/hash.h"
@@ -98,6 +99,7 @@ QueryCacheKey MakeQueryCacheKey(uint64_t graph_fingerprint,
   append(&req.k, sizeof(req.k));
   const uint8_t strat = static_cast<uint8_t>(req.strategy);
   append(&strat, sizeof(strat));
+  append(&req.deadline_ms, sizeof(req.deadline_ms));
   const uint64_t count = req.targets.size();
   append(&count, sizeof(count));
   append(req.targets.data(), req.targets.size() * sizeof(NodeId));
@@ -151,6 +153,8 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
       SAPHYRA_RETURN_NOT_OK(get_uint(value, "seed", &out->seed));
     } else if (key == "topk") {
       SAPHYRA_RETURN_NOT_OK(get_uint(value, "topk", &out->top_k));
+    } else if (key == "deadline_ms") {
+      SAPHYRA_RETURN_NOT_OK(get_uint(value, "deadline_ms", &out->deadline_ms));
     } else if (key == "k") {
       uint64_t k = 0;
       SAPHYRA_RETURN_NOT_OK(get_uint(value, "k", &k));
@@ -202,7 +206,9 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
 std::string SerializeQueryResult(const QueryResult& res) {
   std::string out = "{\"id\":" + JsonQuote(res.id);
   if (!res.status.ok()) {
-    out += ",\"ok\":false,\"error\":" + JsonQuote(res.status.ToString()) + "}";
+    out += ",\"ok\":false,\"code\":\"";
+    out += StatusCodeWireName(res.status.code());
+    out += "\",\"error\":" + JsonQuote(res.status.ToString()) + "}";
     return out;
   }
   out += ",\"ok\":true,\"estimator\":\"";
@@ -211,6 +217,14 @@ std::string SerializeQueryResult(const QueryResult& res) {
   out += ServeModeName(res.mode);
   out += "\",\"samples\":" + std::to_string(res.samples_used);
   out += ",\"seconds\":" + JsonNumber(res.seconds);
+  if (res.degraded) {
+    // epsilon_achieved is infinite when the deadline hit before a variance
+    // estimate existed; JSON has no Infinity, so that spells null.
+    out += ",\"degraded\":true,\"epsilon_achieved\":";
+    out += std::isfinite(res.epsilon_achieved)
+               ? JsonNumber(res.epsilon_achieved)
+               : "null";
+  }
   out += ",\"nodes\":[";
   for (size_t i = 0; i < res.nodes.size(); ++i) {
     if (i != 0) out.push_back(',');

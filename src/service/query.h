@@ -66,6 +66,14 @@ struct QueryRequest {
   SamplingStrategy strategy = SamplingStrategy::kBidirectional;
   /// Target node set. Empty = the whole graph (bc becomes bc-full).
   std::vector<NodeId> targets;
+  /// 0 = no deadline. Otherwise the query is cancelled after this many
+  /// milliseconds and answers with whatever completed waves it has,
+  /// tagged degraded. Part of the cache key: the deadline changes which
+  /// result bytes a request can produce, so bounded and unbounded
+  /// spellings of the same query must not share a memo entry (degraded
+  /// results are never memoized, but an unbounded hit must also never be
+  /// served where the client budgeted for less).
+  uint64_t deadline_ms = 0;
 
   // --- execution parameters (never in the cache key) -------------------
   /// Worker threads for sample generation; 0 = the session default.
@@ -128,6 +136,13 @@ struct QueryResult {
   /// Wall-clock seconds of *this* serve (≈0 for memoized hits).
   double seconds = 0.0;
   ServeMode mode = ServeMode::kComputed;
+  /// Deadline truncation: estimates cover completed waves only, the
+  /// (ε, δ) guarantee does NOT hold, and the result is never memoized.
+  bool degraded = false;
+  /// Only when degraded: the deviation bound actually achieved, in the
+  /// estimator's own units; infinity when truncation preceded any
+  /// variance estimate (serialized as null).
+  double epsilon_achieved = 0.0;
 };
 
 /// \brief Parse one NDJSON request line. Unknown fields are rejected (a

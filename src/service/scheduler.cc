@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
+
+#include "util/failpoint.h"
 
 namespace saphyra {
 
@@ -41,6 +44,7 @@ void BatchScheduler::InsertMemoLocked(
 QueryResult BatchScheduler::Run(const QueryRequest& request) {
   QueryRequest canonical = request;
   Status st = CanonicalizeQuery(session_->graph().num_nodes(), &canonical);
+  if (st.ok()) st = fail::FaultStatus("scheduler.admit");
   if (!st.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
@@ -53,6 +57,16 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
   }
   const QueryCacheKey key = MakeQueryCacheKey(session_->fingerprint(),
                                               canonical);
+
+  // Per-query cancellation: the deadline starts at admission (queue time
+  // counts against the budget — a client asking for 50 ms cares about
+  // response time, not compute time), chained to the server token so a
+  // shutdown reaches queued and running queries alike.
+  CancelToken token;
+  token.set_parent(options_.server_cancel);
+  if (canonical.deadline_ms > 0) {
+    token.TightenDeadline(Deadline::AfterMillis(canonical.deadline_ms));
+  }
 
   std::shared_ptr<Inflight> entry;
   std::shared_ptr<const QueryResult> memo_hit;
@@ -74,9 +88,22 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
         res.seconds = 0.0;
         return res;
       }
+      // Shed before registering: a query that would wait behind max_queue
+      // other owners gets an immediate backpressure error instead.
+      if (options_.max_queue != 0 && waiting_ >= options_.max_queue) {
+        ++stats_.shed;
+        ++stats_.errors;
+        QueryResult res;
+        res.id = request.id;
+        res.estimator = canonical.estimator;
+        res.status = Status::ResourceExhausted(
+            "admission queue full (max_queue=" +
+            std::to_string(options_.max_queue) + ")");
+        return res;
+      }
       entry = std::make_shared<Inflight>();
       inflight_[key.canonical] = entry;
-      ++stats_.computed;
+      ++waiting_;
     }
   }
   if (memo_hit != nullptr) {
@@ -89,28 +116,70 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     return res;
   }
 
-  // The owner must always complete the in-flight entry — a throw from the
-  // estimator (e.g. bad_alloc) that left it pending would wedge every
-  // future request with this key in the dedup wait.
+  // Acquire an execution slot, honoring the token while queued: a query
+  // whose deadline expires (or whose server is cancelled) before it ever
+  // runs has no partial waves to report, so it answers with the bare
+  // error. Registered-before-queued means duplicates arriving meanwhile
+  // dedup onto this entry rather than queueing their own execution.
+  const uint32_t cap = std::max<uint32_t>(1, options_.max_concurrent);
+  Status slot_st;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const StatusCode why = token.Check();
+      if (why != StatusCode::kOk) {
+        slot_st = CancelToken::ToStatus(why, "queued query " + request.id);
+        --waiting_;
+        break;
+      }
+      if (running_ < cap) {
+        ++running_;
+        --waiting_;
+        ++stats_.computed;
+        break;
+      }
+      slot_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+
   QueryResult res;
-  try {
-    res = session_->RunCanonical(canonical);
-  } catch (const std::exception& e) {
-    res.status = Status::Internal(std::string("query execution failed: ") +
-                                  e.what());
+  if (!slot_st.ok()) {
+    res.status = slot_st;
+  } else {
+    // The owner must always complete the in-flight entry — a throw from
+    // the estimator (e.g. bad_alloc) that left it pending would wedge
+    // every future request with this key in the dedup wait.
+    try {
+      res = session_->RunCanonical(canonical, &token);
+    } catch (const std::exception& e) {
+      res.status = Status::Internal(std::string("query execution failed: ") +
+                                    e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    slot_cv_.notify_one();
   }
   res.id = request.id;
-  res.mode = ServeMode::kComputed;
+  res.estimator = canonical.estimator;  // a no-op when RunCanonical ran
+  if (res.status.ok()) res.mode = ServeMode::kComputed;
   // Materialize the memo entry before taking the lock: the O(|result|)
-  // copy should not serialize other drivers.
+  // copy should not serialize other drivers. Degraded results are
+  // deliberately not memoized — their bytes depend on where the clock cut
+  // the run, which the cache key cannot pin.
   std::shared_ptr<const QueryResult> memo_entry;
-  if (res.status.ok()) memo_entry = std::make_shared<const QueryResult>(res);
+  if (res.status.ok() && !res.degraded) {
+    memo_entry = std::make_shared<const QueryResult>(res);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (memo_entry != nullptr) {
-      InsertMemoLocked(key, std::move(memo_entry));
-    } else {
-      ++stats_.errors;  // executed but failed: visible in the error count
+    if (memo_entry != nullptr) InsertMemoLocked(key, std::move(memo_entry));
+    if (!res.status.ok()) {
+      ++stats_.errors;  // shed/expired/failed: visible in the error count
+      if (res.status.code() == StatusCode::kCancelled) ++stats_.cancelled;
+    } else if (res.degraded) {
+      ++stats_.degraded;
     }
     entry->result = res;
     entry->done = true;

@@ -18,9 +18,14 @@
 /// determinism tests (tests/serve_determinism_test.cc) verify exactly
 /// that equivalence.
 ///
+/// Degraded results (deadline-truncated runs) are NEVER memoized: their
+/// bytes depend on where the wall clock cut the run, which the canonical
+/// key does not pin. They are still deduplicated — concurrent duplicates
+/// share whatever the owner produced, including its truncation.
+///
 /// Ownership/threading: all public methods are thread-safe; one mutex
-/// guards the memo, the in-flight table and the stats. The session must
-/// outlive the scheduler.
+/// guards the memo, the in-flight table, the slot gate and the stats. The
+/// session must outlive the scheduler.
 
 #include <condition_variable>
 #include <cstdint>
@@ -32,17 +37,30 @@
 
 #include "service/query.h"
 #include "service/session.h"
+#include "util/cancel.h"
 
 namespace saphyra {
 
 struct SchedulerOptions {
-  /// Queries admitted concurrently by RunBatch (1 = serial admission).
+  /// Estimator executions running concurrently (1 = serial execution);
+  /// also the RunBatch driver count. Enforced inside Run(), so direct
+  /// concurrent callers queue for a slot too.
   uint32_t max_concurrent = 1;
   /// Completed-result LRU capacity in *entries* (0 disables memoization).
   /// Entries are O(|targets|) — but whole-network results (bc-full, or a
   /// targetless baseline query) are O(n) each, so size this down when
   /// memoizing full-graph queries on very large graphs.
   size_t memo_capacity = 64;
+  /// Admission bound: queries queued for an execution slot beyond this
+  /// many are shed immediately with RESOURCE_EXHAUSTED instead of
+  /// waiting (0 = unbounded). Memo and dedup hits are never shed — they
+  /// cost no slot.
+  size_t max_queue = 0;
+  /// Server-wide shutdown token, chained as the parent of every per-query
+  /// token: Cancel() stops new executions with CANCELLED and makes
+  /// running ones finalize degraded at their next wave; TightenDeadline()
+  /// implements a drain window. Borrowed; must outlive the scheduler.
+  const CancelToken* server_cancel = nullptr;
 };
 
 struct SchedulerStats {
@@ -50,8 +68,11 @@ struct SchedulerStats {
   uint64_t computed = 0;     ///< estimator executions
   uint64_t memo_hits = 0;    ///< served from the LRU
   uint64_t dedup_hits = 0;   ///< shared an in-flight execution
-  uint64_t errors = 0;       ///< invalid requests
+  uint64_t errors = 0;       ///< requests answered with an error status
   uint64_t evictions = 0;    ///< LRU entries displaced
+  uint64_t shed = 0;         ///< rejected at admission (RESOURCE_EXHAUSTED)
+  uint64_t degraded = 0;     ///< answered from a deadline-truncated run
+  uint64_t cancelled = 0;    ///< answered CANCELLED (server shutdown)
 };
 
 /// \brief Concurrent query front door over one warm QuerySession.
@@ -100,6 +121,13 @@ class BatchScheduler {
 
   mutable std::mutex mu_;
   SchedulerStats stats_;
+  /// Execution-slot gate: estimator runs in flight / owners queued for a
+  /// slot. Slot waiters poll their cancel token every ~10 ms, so a queued
+  /// query honors its deadline (and the shutdown token) without a
+  /// per-query wakeup channel.
+  uint32_t running_ = 0;
+  size_t waiting_ = 0;
+  std::condition_variable slot_cv_;
   /// LRU list, most-recent first, with an index by canonical encoding.
   std::list<MemoEntry> memo_;
   std::map<std::string, std::list<MemoEntry>::iterator> memo_index_;

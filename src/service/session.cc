@@ -8,6 +8,7 @@
 #include "closeness/closeness.h"
 #include "core/saphyra.h"
 #include "kpath/kpath.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace saphyra {
@@ -64,6 +65,7 @@ Status QuerySession::Open(const std::string& graph_path,
 
 const IspIndex& QuerySession::isp() {
   std::call_once(isp_once_, [this] {
+    fail::MaybeFault("session.index");
     isp_ = cache_.has_decomposition
                ? std::make_unique<IspIndex>(graph_, std::move(cache_))
                : std::make_unique<IspIndex>(graph_);
@@ -81,15 +83,28 @@ QueryResult QuerySession::Run(const QueryRequest& request) {
     res.status = st;
     return res;
   }
-  return RunCanonical(req);
+  if (req.deadline_ms == 0) return RunCanonical(req, nullptr);
+  CancelToken token;
+  token.TightenDeadline(Deadline::AfterMillis(req.deadline_ms));
+  return RunCanonical(req, &token);
 }
 
-QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
+QueryResult QuerySession::RunCanonical(const QueryRequest& req,
+                                       const CancelToken* cancel) {
   QueryResult res;
   res.id = req.id;
   res.estimator = req.estimator;
   const uint32_t threads =
       req.num_threads != 0 ? req.num_threads : options_.default_threads;
+
+  // Degraded estimator outcomes surface as results, not errors: the
+  // completed-wave estimates are still deterministic, so the client gets
+  // them plus the achieved bound and decides whether they are usable.
+  auto mark_degraded = [&res](bool degraded, double eps_achieved) {
+    if (!degraded) return;
+    res.degraded = true;
+    res.epsilon_achieved = eps_achieved;
+  };
 
   Timer timer;
   switch (req.estimator) {
@@ -103,13 +118,16 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
       opts.strategy = req.strategy;
       opts.traversal = req.traversal;
       opts.num_threads = threads;
+      opts.cancel = cancel;
       if (req.estimator == EstimatorKind::kBcFull) {
         SaphyraBcResult r = RunSaphyraBcFull(isp(), opts);
         res.samples_used = r.samples_used;
+        mark_degraded(r.degraded, r.epsilon_achieved);
         ReportSubset(r.bc, req.targets, &res);
       } else {
         SaphyraBcResult r = RunSaphyraBc(isp(), req.targets, opts);
         res.samples_used = r.samples_used;
+        mark_degraded(r.degraded, r.epsilon_achieved);
         res.nodes = req.targets;
         res.estimates = std::move(r.bc);
       }
@@ -125,11 +143,13 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
       opts.seed = req.seed;
       opts.top_k = req.top_k;
       opts.num_threads = threads;
+      opts.cancel = cancel;
       std::vector<NodeId> targets =
           req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
       KPathProblem problem(graph_, targets, req.k);
       SaphyraResult r = RunSaphyra(&problem, opts);
       res.samples_used = r.samples_used;
+      mark_degraded(r.degraded, r.epsilon_achieved);
       res.nodes = std::move(targets);
       res.estimates = std::move(r.combined_risks);
       break;
@@ -141,12 +161,16 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
       opts.seed = req.seed;
       opts.top_k = req.top_k;
       opts.num_threads = threads;
+      opts.cancel = cancel;
       std::vector<NodeId> targets =
           req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
       HarmonicClosenessProblem problem(graph_, targets);
       problem.set_traversal(req.traversal);
       SaphyraResult r = RunSaphyra(&problem, opts);
       res.samples_used = r.samples_used;
+      // RiskToCentrality is linear (×n/(n−1)), so the achieved risk bound
+      // converts to centrality units through the same map.
+      mark_degraded(r.degraded, problem.RiskToCentrality(r.epsilon_achieved));
       res.nodes = std::move(targets);
       res.estimates.resize(r.combined_risks.size());
       for (size_t i = 0; i < res.estimates.size(); ++i) {
@@ -161,8 +185,10 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
       opts.seed = req.seed;
       opts.top_k = req.top_k;
       opts.num_threads = threads;
+      opts.cancel = cancel;
       AbraResult r = RunAbra(graph_, opts);
       res.samples_used = r.samples_used;
+      mark_degraded(r.degraded, r.epsilon_achieved);
       ReportSubset(r.bc, req.targets, &res);
       break;
     }
@@ -175,8 +201,10 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req) {
       opts.strategy = req.strategy;
       opts.traversal = req.traversal;
       opts.num_threads = threads;
+      opts.cancel = cancel;
       KadabraResult r = RunKadabra(graph_, opts);
       res.samples_used = r.samples_used;
+      mark_degraded(r.degraded, r.epsilon_achieved);
       ReportSubset(r.bc, req.targets, &res);
       break;
     }

@@ -32,6 +32,7 @@
 #include "graph/binary_io.h"
 #include "graph/graph.h"
 #include "service/query.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace saphyra {
@@ -78,7 +79,9 @@ class QuerySession {
   /// \brief Answer one query on the warm state. `req` is canonicalized
   /// internally; invalid requests come back as an error result (the
   /// status rides on QueryResult so one bad query in a batch cannot take
-  /// the batch down). Thread-safe.
+  /// the batch down). A request with deadline_ms > 0 gets a cancel token
+  /// armed here; on expiry the result covers completed waves only and is
+  /// tagged degraded. Thread-safe.
   QueryResult Run(const QueryRequest& req);
 
  private:
@@ -88,8 +91,11 @@ class QuerySession {
 
   /// \brief Run() minus validation: `req` must already be canonical. The
   /// scheduler canonicalizes once to derive the cache key and enters
-  /// here, instead of paying a second copy + sort/dedup pass per query.
-  QueryResult RunCanonical(const QueryRequest& req);
+  /// here, instead of paying a second copy + sort/dedup pass per query —
+  /// and owns the cancel token (deadline measured from admission, chained
+  /// to the server-wide shutdown token). `cancel` may be null; borrowed
+  /// for the duration of the call.
+  QueryResult RunCanonical(const QueryRequest& req, const CancelToken* cancel);
 
   SessionOptions options_;
   Graph graph_;

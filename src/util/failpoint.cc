@@ -1,0 +1,190 @@
+#include "util/failpoint.h"
+
+#if defined(SAPHYRA_FAILPOINTS)
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace saphyra {
+namespace fail {
+
+namespace {
+
+enum class ActionKind { kOff, kThrow, kError, kIoError, kSleep };
+
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  /// Remaining firings; -1 = unlimited.
+  int64_t remaining = -1;
+  uint64_t sleep_ms = 0;
+  std::string message;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Action> actions;
+  std::map<std::string, uint64_t> hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives every thread
+  return *r;
+}
+
+/// Parse `[N*]kind[(arg)]`; returns false on malformed input.
+bool ParseAction(const std::string& spec, Action* out) {
+  *out = Action();
+  std::string s = spec;
+  const size_t star = s.find('*');
+  if (star != std::string::npos) {
+    const std::string count = s.substr(0, star);
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    out->remaining = static_cast<int64_t>(std::strtoll(count.c_str(),
+                                                       nullptr, 10));
+    s = s.substr(star + 1);
+  }
+  std::string arg;
+  const size_t paren = s.find('(');
+  if (paren != std::string::npos) {
+    if (s.back() != ')') return false;
+    arg = s.substr(paren + 1, s.size() - paren - 2);
+    s = s.substr(0, paren);
+  }
+  if (s == "off") {
+    out->kind = ActionKind::kOff;
+  } else if (s == "throw") {
+    out->kind = ActionKind::kThrow;
+    out->message = arg.empty() ? "throw" : arg;
+  } else if (s == "error") {
+    out->kind = ActionKind::kError;
+    out->message = arg.empty() ? "error" : arg;
+  } else if (s == "io-error") {
+    out->kind = ActionKind::kIoError;
+    out->message = arg.empty() ? "io-error" : arg;
+  } else if (s == "sleep") {
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    out->kind = ActionKind::kSleep;
+    out->sleep_ms = std::strtoull(arg.c_str(), nullptr, 10);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Lazily fold SAPHYRA_FAILPOINTS="site=action;site=action" into the
+/// registry the first time any site is evaluated.
+void ConfigureFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("SAPHYRA_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::string spec(env);
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+      size_t end = spec.find(';', begin);
+      if (end == std::string::npos) end = spec.size();
+      const std::string item = spec.substr(begin, end - begin);
+      begin = end + 1;
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) continue;  // malformed entry: skip
+      Inject(item.substr(0, eq), item.substr(eq + 1));
+    }
+  });
+}
+
+/// Take one firing of `site`'s action (decrementing a count limit) and
+/// return it; kOff when the site is idle. Also bumps the hit counter.
+Action TakeAction(const char* site) {
+  ConfigureFromEnvOnce();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ++reg.hits[site];
+  auto it = reg.actions.find(site);
+  if (it == reg.actions.end()) return Action();
+  Action& a = it->second;
+  if (a.kind == ActionKind::kOff || a.remaining == 0) return Action();
+  if (a.remaining > 0) --a.remaining;
+  return a;
+}
+
+}  // namespace
+
+bool Inject(const std::string& site, const std::string& action) {
+  Action parsed;
+  if (site.empty() || !ParseAction(action, &parsed)) return false;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.actions[site] = parsed;
+  return true;
+}
+
+void Clear(const std::string& site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.actions.erase(site);
+}
+
+void ClearAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.actions.clear();
+}
+
+uint64_t HitCount(const std::string& site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.hits.find(site);
+  return it == reg.hits.end() ? 0 : it->second;
+}
+
+void MaybeFault(const char* site) {
+  const Action a = TakeAction(site);
+  switch (a.kind) {
+    case ActionKind::kOff:
+      return;
+    case ActionKind::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(a.sleep_ms));
+      return;
+    case ActionKind::kThrow:
+    case ActionKind::kError:
+    case ActionKind::kIoError:
+      // A throw-capable site expresses every failure as the exception.
+      throw InjectedFault(std::string(site) + ": " + a.message);
+  }
+}
+
+Status FaultStatus(const char* site) {
+  const Action a = TakeAction(site);
+  switch (a.kind) {
+    case ActionKind::kOff:
+      return Status::OK();
+    case ActionKind::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(a.sleep_ms));
+      return Status::OK();
+    case ActionKind::kIoError:
+      return Status::IOError("injected fault: " + std::string(site) + ": " +
+                             a.message);
+    case ActionKind::kThrow:
+    case ActionKind::kError:
+      // A Status site expresses a `throw` as the strongest error it can
+      // return without unwinding through Status-returning callers.
+      return Status::Internal("injected fault: " + std::string(site) + ": " +
+                              a.message);
+  }
+  return Status::OK();
+}
+
+}  // namespace fail
+}  // namespace saphyra
+
+#endif  // SAPHYRA_FAILPOINTS

@@ -15,7 +15,20 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  /// A per-query (or drain) time budget ran out; partial results may still
+  /// have been produced (see the serving layer's degraded results).
+  kDeadlineExceeded,
+  /// Load shed: an admission queue or resource cap rejected the work.
+  kResourceExhausted,
+  /// A hard stop was requested (shutdown, explicit cancel).
+  kCancelled,
 };
+
+/// \brief Stable SCREAMING_SNAKE wire name of a code (gRPC-style), e.g.
+/// "DEADLINE_EXCEEDED". This is what NDJSON error objects carry in their
+/// "code" field; clients dispatch on it, so the names are part of the
+/// serving contract (docs/serving.md, "Error taxonomy").
+const char* StatusCodeWireName(StatusCode code);
 
 /// \brief Lightweight status object for operations that can fail.
 ///
@@ -44,6 +57,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -192,5 +192,42 @@ TEST_P(TreeBcc, TreesDecomposeIntoBridges) {
 INSTANTIATE_TEST_SUITE_P(Sizes, TreeBcc,
                          ::testing::Values(2, 3, 5, 10, 50, 200));
 
+// --- depth-bounded variant -------------------------------------------------
+
+Graph PathGraph(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return MakeGraph(n, edges);
+}
+
+TEST(BiconnectedBounded, DepthCapFailsCleanlyOnLongPath) {
+  // A 300-node path drives the DFS stack ~300 frames deep; a 64-frame cap
+  // must surface a clear precondition error instead of burning memory.
+  Graph g = PathGraph(300);
+  BiconnectedComponents out;
+  Status st = ComputeBiconnectedComponentsBounded(g, 64, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("graph too deep"), std::string::npos);
+  EXPECT_NE(st.message().find("parallel-BCC"), std::string::npos);
+}
+
+TEST(BiconnectedBounded, GenerousCapMatchesUnlimited) {
+  Graph g = PaperFig2Graph();
+  BiconnectedComponents bounded;
+  ASSERT_TRUE(ComputeBiconnectedComponentsBounded(g, 64, &bounded).ok());
+  auto unlimited = ComputeBiconnectedComponents(g);
+  EXPECT_EQ(bounded.num_components, unlimited.num_components);
+  EXPECT_EQ(bounded.arc_component, unlimited.arc_component);
+  EXPECT_EQ(bounded.is_cutpoint, unlimited.is_cutpoint);
+}
+
+TEST(BiconnectedBounded, ZeroMeansUnlimited) {
+  Graph g = PathGraph(300);
+  BiconnectedComponents out;
+  ASSERT_TRUE(ComputeBiconnectedComponentsBounded(g, 0, &out).ok());
+  EXPECT_EQ(out.num_components, 299u);  // every path edge is a bridge
+}
+
 }  // namespace
 }  // namespace saphyra

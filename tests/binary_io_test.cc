@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "test_util.h"
+#include "util/failpoint.h"
 
 namespace saphyra {
 namespace {
@@ -452,6 +453,67 @@ TEST_P(BinaryIoTest, TruncationSweepYieldsStatusNeverCrash) {
     // A strict prefix can never carry the full section payloads.
     EXPECT_FALSE(st.ok()) << "kept " << keep << " of " << pristine.size();
   }
+}
+
+TEST_P(BinaryIoTest, AtomicWriteLeavesNoTempFile) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  std::string path = TempPath("atomic.sgr");
+  ASSERT_TRUE(WriteSgr(path, g, nullptr, nullptr, nullptr, nullptr).ok());
+  // The write staged through <path>.tmp and published with rename; a
+  // successful publish leaves only the final file behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  GraphCache cache;
+  ASSERT_TRUE(LoadSgr(path, &cache, ReadOptions()).ok());
+  ExpectGraphsEqual(g, cache.graph);
+  std::remove(path.c_str());
+}
+
+TEST_P(BinaryIoTest, InjectedWriteFailureLeavesTargetUntouched) {
+  if (!fail::kBuiltWithFailpoints) {
+    GTEST_SKIP() << "build has no failpoint registry";
+  }
+  fail::ClearAll();
+  Graph original = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  std::string path = TempPath("enospc.sgr");
+  ASSERT_TRUE(
+      WriteSgr(path, original, nullptr, nullptr, nullptr, nullptr).ok());
+
+  // An overwrite that dies mid-payload (simulated ENOSPC) must fail with
+  // a structured error and leave the published file bitwise intact — the
+  // regression the temp-file + rename protocol exists to prevent.
+  Graph replacement = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(fail::Inject("sgr.write", "1*io-error(disk full)"));
+  Status st =
+      WriteSgr(path, replacement, nullptr, nullptr, nullptr, nullptr);
+  fail::ClearAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("disk full"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  GraphCache cache;
+  ASSERT_TRUE(LoadSgr(path, &cache, ReadOptions()).ok());
+  ExpectGraphsEqual(original, cache.graph);  // the old file, not a torso
+  std::remove(path.c_str());
+}
+
+TEST_P(BinaryIoTest, InjectedLoadFailureSurfaces) {
+  if (!fail::kBuiltWithFailpoints) {
+    GTEST_SKIP() << "build has no failpoint registry";
+  }
+  fail::ClearAll();
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  std::string path = TempPath("load_fault.sgr");
+  ASSERT_TRUE(WriteSgr(path, g, nullptr, nullptr, nullptr, nullptr).ok());
+  ASSERT_TRUE(fail::Inject("sgr.load", "1*io-error(read failed)"));
+  GraphCache cache;
+  Status st = LoadSgr(path, &cache, ReadOptions());
+  fail::ClearAll();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("read failed"), std::string::npos);
+  // The fault disarmed; the same file loads fine afterwards.
+  ASSERT_TRUE(LoadSgr(path, &cache, ReadOptions()).ok());
+  std::remove(path.c_str());
 }
 
 TEST(ComponentViewFromPartsTest, RejectsNonMonotonicNodeBegin) {

@@ -1,0 +1,138 @@
+// Tests for util/cancel.h: deadlines, hard cancel, parent chaining, and
+// the deterministic CancelAfterPolls trigger the degraded-determinism
+// tests build on.
+
+#include "util/cancel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace {
+
+TEST(DeadlineTest, NeverIsUnbounded) {
+  Deadline never = Deadline::Never();
+  EXPECT_TRUE(never.unbounded());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.steady_nanos(), Deadline::kNeverNs);
+}
+
+TEST(DeadlineTest, AfterMillisExpires) {
+  Deadline past = Deadline::AfterMillis(0);
+  EXPECT_FALSE(past.unbounded());
+  EXPECT_TRUE(past.expired());
+  Deadline future = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(future.expired());
+}
+
+TEST(DeadlineTest, HugeMillisDoesNotOverflow) {
+  Deadline d = Deadline::AfterMillis(UINT64_MAX);
+  EXPECT_FALSE(d.unbounded());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.steady_nanos(), Deadline::NowNanos());
+}
+
+TEST(CancelTokenTest, DefaultNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.CanExpire());
+  EXPECT_EQ(token.Check(), StatusCode::kOk);
+  EXPECT_EQ(token.Poll(), StatusCode::kOk);
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.CanExpire());
+  EXPECT_EQ(token.Check(), StatusCode::kCancelled);
+  EXPECT_EQ(token.Check(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancelToken token;
+  token.TightenDeadline(Deadline::AfterMillis(0));
+  EXPECT_TRUE(token.CanExpire());
+  EXPECT_EQ(token.Check(), StatusCode::kDeadlineExceeded);
+  // A hard cancel outranks the deadline.
+  token.Cancel();
+  EXPECT_EQ(token.Check(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, TightenOnlyShortens) {
+  CancelToken token;
+  token.TightenDeadline(Deadline::AfterMillis(0));
+  // A later deadline must not resurrect an expired token.
+  token.TightenDeadline(Deadline::AfterMillis(60000));
+  EXPECT_EQ(token.Check(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, CancelAfterPollsFiresOnNthPoll) {
+  CancelToken token;
+  token.CancelAfterPolls(3);
+  EXPECT_TRUE(token.CanExpire());
+  EXPECT_EQ(token.Poll(), StatusCode::kOk);
+  EXPECT_EQ(token.Poll(), StatusCode::kOk);
+  EXPECT_EQ(token.Poll(), StatusCode::kCancelled);  // the 3rd poll
+  EXPECT_EQ(token.Poll(), StatusCode::kCancelled);
+  // Check() never consumes the budget.
+  CancelToken counting;
+  counting.CancelAfterPolls(1);
+  EXPECT_EQ(counting.Check(), StatusCode::kOk);
+  EXPECT_EQ(counting.Check(), StatusCode::kOk);
+  EXPECT_EQ(counting.Poll(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ParentCheckedFirst) {
+  CancelToken server;
+  CancelToken query;
+  query.set_parent(&server);
+  EXPECT_FALSE(query.CanExpire());
+  server.Cancel();
+  EXPECT_TRUE(query.CanExpire());
+  EXPECT_EQ(query.Check(), StatusCode::kCancelled);
+  EXPECT_EQ(query.Poll(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ParentDrainDeadlinePropagates) {
+  CancelToken server;
+  CancelToken query;
+  query.set_parent(&server);
+  server.TightenDeadline(Deadline::AfterMillis(0));
+  EXPECT_EQ(query.Check(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, ConcurrentPollsConsumeBudgetExactlyOnce) {
+  // 8 threads x 100 polls against a budget of 500. Each budget slot is
+  // consumed exactly once (CAS), so at least the 301 post-budget polls
+  // report cancelled; a pre-budget poll may also observe the flag if a
+  // racing thread crossed the threshold first, never the other way.
+  CancelToken token;
+  token.CancelAfterPolls(500);
+  std::vector<std::thread> threads;
+  std::atomic<int> cancelled{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&token, &cancelled] {
+      for (int i = 0; i < 100; ++i) {
+        if (token.Poll() != StatusCode::kOk) cancelled.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(cancelled.load(), 800 - 499);
+  EXPECT_EQ(token.Check(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ToStatusMapsCodes) {
+  EXPECT_TRUE(CancelToken::ToStatus(StatusCode::kOk, "q").ok());
+  Status dl = CancelToken::ToStatus(StatusCode::kDeadlineExceeded, "query q1");
+  EXPECT_EQ(dl.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(dl.message().find("query q1"), std::string::npos);
+  Status c = CancelToken::ToStatus(StatusCode::kCancelled, "query q2");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_NE(c.message().find("cancelled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saphyra

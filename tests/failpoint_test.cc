@@ -1,0 +1,100 @@
+// Tests for util/failpoint.h. The registry only exists in builds
+// configured with -DSAPHYRA_FAILPOINTS=ON (the CI fault-injection job);
+// everywhere else these tests verify the no-op stubs and skip the rest.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace saphyra {
+namespace fail {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kBuiltWithFailpoints) {
+      GTEST_SKIP() << "build has no failpoint registry";
+    }
+    ClearAll();
+  }
+  void TearDown() override { ClearAll(); }
+};
+
+TEST(FailpointStubTest, UnconfiguredSitesAreInert) {
+  // Holds in BOTH build flavors: an unconfigured site never fires.
+  EXPECT_NO_THROW(MaybeFault("failpoint_test.nowhere"));
+  EXPECT_TRUE(FaultStatus("failpoint_test.nowhere").ok());
+  if (!kBuiltWithFailpoints) {
+    EXPECT_FALSE(Inject("failpoint_test.nowhere", "throw"));
+    EXPECT_EQ(HitCount("failpoint_test.nowhere"), 0u);
+  }
+}
+
+TEST_F(FailpointTest, ThrowActionFires) {
+  ASSERT_TRUE(Inject("failpoint_test.t", "throw(boom)"));
+  EXPECT_THROW(MaybeFault("failpoint_test.t"), InjectedFault);
+  try {
+    MaybeFault("failpoint_test.t");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("failpoint_test.t"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, ErrorActionsReturnStatus) {
+  ASSERT_TRUE(Inject("failpoint_test.e", "error(sim)"));
+  Status st = FaultStatus("failpoint_test.e");
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("sim"), std::string::npos);
+
+  ASSERT_TRUE(Inject("failpoint_test.io", "io-error(disk full)"));
+  Status io = FaultStatus("failpoint_test.io");
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_NE(io.message().find("disk full"), std::string::npos);
+}
+
+TEST_F(FailpointTest, CountedActionsDisarmAfterN) {
+  ASSERT_TRUE(Inject("failpoint_test.n", "2*error(twice)"));
+  EXPECT_FALSE(FaultStatus("failpoint_test.n").ok());
+  EXPECT_FALSE(FaultStatus("failpoint_test.n").ok());
+  EXPECT_TRUE(FaultStatus("failpoint_test.n").ok());
+  EXPECT_TRUE(FaultStatus("failpoint_test.n").ok());
+}
+
+TEST_F(FailpointTest, HitCountsCountEvaluations) {
+  const uint64_t before = HitCount("failpoint_test.h");
+  MaybeFault("failpoint_test.h");                       // unconfigured
+  ASSERT_TRUE(Inject("failpoint_test.h", "off"));
+  MaybeFault("failpoint_test.h");                       // configured off
+  EXPECT_EQ(HitCount("failpoint_test.h"), before + 2);
+}
+
+TEST_F(FailpointTest, ClearDisarms) {
+  ASSERT_TRUE(Inject("failpoint_test.c", "throw"));
+  Clear("failpoint_test.c");
+  EXPECT_NO_THROW(MaybeFault("failpoint_test.c"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejected) {
+  EXPECT_FALSE(Inject("failpoint_test.m", "explode"));
+  EXPECT_FALSE(Inject("failpoint_test.m", "x*throw"));
+  EXPECT_FALSE(Inject("failpoint_test.m", ""));
+  // The site stays unconfigured after every rejected spec.
+  EXPECT_NO_THROW(MaybeFault("failpoint_test.m"));
+}
+
+TEST_F(FailpointTest, CrossKindDegradation) {
+  // A `throw` reaching a Status site degrades to INTERNAL; an `error`
+  // reaching a throw site still throws.
+  ASSERT_TRUE(Inject("failpoint_test.x", "throw(kind)"));
+  EXPECT_EQ(FaultStatus("failpoint_test.x").code(), StatusCode::kInternal);
+  ASSERT_TRUE(Inject("failpoint_test.x", "error(kind)"));
+  EXPECT_THROW(MaybeFault("failpoint_test.x"), InjectedFault);
+}
+
+}  // namespace
+}  // namespace fail
+}  // namespace saphyra

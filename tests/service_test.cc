@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -86,7 +87,28 @@ TEST(ParseQueryRequestTest, DefaultsMatchOptionStructs) {
   EXPECT_DOUBLE_EQ(req.delta, 0.01);
   EXPECT_EQ(req.seed, 1u);
   EXPECT_EQ(req.top_k, 0u);
+  EXPECT_EQ(req.deadline_ms, 0u);
   EXPECT_TRUE(req.targets.empty());
+}
+
+TEST(ParseQueryRequestTest, DeadlineMs) {
+  QueryRequest req;
+  ASSERT_TRUE(ParseQueryRequest(R"({"deadline_ms":250})", &req).ok());
+  EXPECT_EQ(req.deadline_ms, 250u);
+  EXPECT_FALSE(ParseQueryRequest(R"({"deadline_ms":-5})", &req).ok());
+  EXPECT_FALSE(ParseQueryRequest(R"({"deadline_ms":"soon"})", &req).ok());
+}
+
+TEST(MakeQueryCacheKeyTest, DeadlineSplitsCacheEntries) {
+  // A deadline-bounded query may produce different (truncated) bytes than
+  // its unbounded twin, so the two must never share a memo entry.
+  QueryRequest a;
+  ASSERT_TRUE(CanonicalizeQuery(10, &a).ok());
+  QueryRequest b = a;
+  b.deadline_ms = 100;
+  EXPECT_FALSE(MakeQueryCacheKey(1, a) == MakeQueryCacheKey(1, b));
+  b.deadline_ms = 0;
+  EXPECT_TRUE(MakeQueryCacheKey(1, a) == MakeQueryCacheKey(1, b));
 }
 
 TEST(ParseQueryRequestTest, Rejections) {
@@ -423,8 +445,29 @@ TEST(SerializeQueryResultTest, Shapes) {
   err.id = "bad";
   err.status = Status::InvalidArgument("nope");
   EXPECT_EQ(SerializeQueryResult(err),
-            "{\"id\":\"bad\",\"ok\":false,\"error\":\"InvalidArgument: "
-            "nope\"}");
+            "{\"id\":\"bad\",\"ok\":false,\"code\":\"INVALID_ARGUMENT\","
+            "\"error\":\"InvalidArgument: nope\"}");
+
+  QueryResult deg;
+  deg.id = "slow";
+  deg.estimator = EstimatorKind::kBcFull;
+  deg.samples_used = 128;
+  deg.seconds = 0.05;
+  deg.degraded = true;
+  deg.epsilon_achieved = 0.125;
+  deg.nodes = {0};
+  deg.estimates = {0.25};
+  EXPECT_EQ(SerializeQueryResult(deg),
+            "{\"id\":\"slow\",\"ok\":true,\"estimator\":\"bc-full\","
+            "\"served\":\"computed\",\"samples\":128,\"seconds\":0.05,"
+            "\"degraded\":true,\"epsilon_achieved\":0.125,"
+            "\"nodes\":[0],\"estimates\":[0.25]}");
+
+  // Truncation before any variance estimate: the achieved bound is
+  // infinite, which JSON spells null.
+  deg.epsilon_achieved = std::numeric_limits<double>::infinity();
+  EXPECT_NE(SerializeQueryResult(deg).find("\"epsilon_achieved\":null"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -38,6 +38,38 @@ TEST(Status, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::Internal("").ToString(), "Internal");
 }
 
+TEST(Status, ServingErrorFactories) {
+  Status dl = Status::DeadlineExceeded("query q1 exceeded its deadline");
+  EXPECT_EQ(dl.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(dl.ToString(),
+            "DeadlineExceeded: query q1 exceeded its deadline");
+  Status re = Status::ResourceExhausted("admission queue full");
+  EXPECT_EQ(re.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(re.ToString(), "ResourceExhausted: admission queue full");
+  Status c = Status::Cancelled("server shutting down");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: server shutting down");
+}
+
+TEST(Status, WireNamesAreStable) {
+  // These names are the serving contract: NDJSON error objects carry them
+  // in "code" and clients dispatch on them (docs/serving.md).
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kIOError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeWireName(StatusCode::kCancelled), "CANCELLED");
+}
+
 Status Fails() { return Status::NotFound("nope"); }
 Status Succeeds() { return Status::OK(); }
 

@@ -8,7 +8,11 @@
 #   4. Every --flag a tools/*.cc binary parses appears in docs/cli.md.
 #   5. Every metric key in BENCH_micro.json appears somewhere in the docs
 #      (README.md, DESIGN.md, or docs/*.md).
-#   6. Every relative markdown link in the doc set resolves to a file
+#   6. The serving robustness contract holds: the deadline/backpressure
+#      flags stay parsed by saphyra_serve and documented in
+#      docs/serving.md, and the error-taxonomy wire codes stay in sync
+#      with src/util/status.cc.
+#   7. Every relative markdown link in the doc set resolves to a file
 #      that exists.
 
 set -euo pipefail
@@ -84,7 +88,40 @@ else
   fail=1
 fi
 
-# --- 6. relative doc links resolve -----------------------------------------
+# --- 6. serving robustness contract ----------------------------------------
+# The deadline/backpressure flags must stay parsed by saphyra_serve AND
+# documented in docs/serving.md, and every wire-format error code named in
+# the serving docs' taxonomy must exist in src/util/status.cc (and vice
+# versa for the codes the robustness layer introduced).
+serving_doc="$REPO_ROOT/docs/serving.md"
+if [[ ! -f "$serving_doc" ]]; then
+  echo "check_docs: docs/serving.md is missing" >&2
+  fail=1
+else
+  for flag in --default-deadline-ms --max-queue --drain-ms; do
+    if ! grep -qF -- "\"$flag\"" "$REPO_ROOT/tools/saphyra_serve.cc"; then
+      echo "check_docs: tools/saphyra_serve.cc no longer parses $flag" >&2
+      fail=1
+    fi
+    if ! grep -qF -- "$flag" "$serving_doc"; then
+      echo "check_docs: docs/serving.md no longer documents $flag" >&2
+      fail=1
+    fi
+  done
+  for code in INVALID_ARGUMENT DEADLINE_EXCEEDED RESOURCE_EXHAUSTED \
+              CANCELLED INTERNAL; do
+    if ! grep -qF "\"$code\"" "$REPO_ROOT/src/util/status.cc"; then
+      echo "check_docs: src/util/status.cc no longer emits wire code $code" >&2
+      fail=1
+    fi
+    if ! grep -qF "$code" "$serving_doc"; then
+      echo "check_docs: docs/serving.md error taxonomy is missing $code" >&2
+      fail=1
+    fi
+  done
+fi
+
+# --- 7. relative doc links resolve -----------------------------------------
 # Markdown inline links [text](target); URLs and pure #anchors are skipped,
 # in-file anchors of relative targets are stripped before the existence test.
 for doc in "${doc_files[@]}"; do
@@ -106,5 +143,5 @@ if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
 echo "check_docs: README/ROADMAP tier-1 line, rank flags, headline metrics," \
-     "tool flags vs docs/cli.md, BENCH_micro.json key coverage and doc" \
-     "links all consistent"
+     "tool flags vs docs/cli.md, BENCH_micro.json key coverage, serving" \
+     "error taxonomy and doc links all consistent"

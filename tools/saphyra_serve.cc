@@ -16,6 +16,11 @@
 //                 [--threads T]          (default sampling threads, def. 1)
 //                 [--memo-capacity M]    (LRU entries, default 64; 0 = off)
 //                 [--repeat R]           (serve the request list R times)
+//                 [--default-deadline-ms D]  (deadline for requests without
+//                                             one; 0 = unbounded, default)
+//                 [--max-queue Q]        (shed beyond Q queued; 0 = unbounded)
+//                 [--drain-ms D]         (drain window after SIGINT/SIGTERM,
+//                                         default 2000)
 //                 [--no-cache] [--output FILE] [--stats-json FILE]
 //
 // Request lines (see docs/serving.md for the full schema):
@@ -36,8 +41,16 @@
 // --repeat R re-serves the whole request list R times — the easy way to
 // watch the memo work: the second pass serves every line with
 // "served":"memo" at ~zero latency.
+//
+// Shutdown: SIGINT/SIGTERM starts a graceful drain — in-flight queries
+// get --drain-ms to finish (after which they finalize degraded at their
+// next wave), no further repeat pass starts, and the process exits with
+// the normal summary. A second signal hard-cancels immediately.
+
+#include <signal.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,11 +58,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/query.h"
 #include "service/scheduler.h"
 #include "service/session.h"
+#include "util/cancel.h"
 #include "util/timer.h"
 
 using namespace saphyra;
@@ -64,10 +79,53 @@ struct Args {
   uint32_t threads = 1;
   size_t memo_capacity = 64;
   uint32_t repeat = 1;
+  uint64_t default_deadline_ms = 0;
+  size_t max_queue = 0;
+  uint64_t drain_ms = 2000;
   bool no_cache = false;
   std::string output;
   std::string stats_json;
 };
+
+// Shutdown state shared with the detached signal watcher. Static storage
+// only: the watcher must stay valid if it outlives main's locals, and the
+// server token is the parent of every per-query token the scheduler arms.
+CancelToken& ServerToken() {
+  static CancelToken* token = new CancelToken();
+  return *token;
+}
+std::atomic<bool> g_shutdown{false};
+std::atomic<uint64_t> g_drain_ms{2000};
+
+// sigwait-based shutdown: SIGINT/SIGTERM are blocked in every thread (the
+// mask is inherited), and one detached watcher consumes them
+// synchronously — no async-signal-safety contortions, and a second signal
+// still escalates to a hard cancel.
+void StartSignalWatcher(sigset_t set) {
+  std::thread([set] {
+    bool draining = false;
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&set, &sig) != 0) return;
+      if (!draining) {
+        draining = true;
+        g_shutdown.store(true, std::memory_order_release);
+        std::fprintf(stderr,
+                     "signal %d: draining in-flight queries (%llu ms "
+                     "budget); signal again to hard-cancel\n",
+                     sig,
+                     static_cast<unsigned long long>(
+                         g_drain_ms.load(std::memory_order_acquire)));
+        ServerToken().TightenDeadline(Deadline::AfterMillis(
+            g_drain_ms.load(std::memory_order_acquire)));
+      } else {
+        std::fprintf(stderr, "signal %d: hard cancel\n", sig);
+        ServerToken().Cancel();
+        return;
+      }
+    }
+  }).detach();
+}
 
 void Usage(const char* argv0) {
   std::fprintf(
@@ -75,6 +133,7 @@ void Usage(const char* argv0) {
       "usage: %s --graph FILE [--format snap|dimacs|sgr|auto]\n"
       "          [--requests FILE] [--concurrency N] [--threads T]\n"
       "          [--memo-capacity M] [--repeat R] [--no-cache]\n"
+      "          [--default-deadline-ms D] [--max-queue Q] [--drain-ms D]\n"
       "          [--output FILE] [--stats-json FILE]\n",
       argv0);
 }
@@ -103,6 +162,12 @@ bool Parse(int argc, char** argv, Args* args) {
       args->memo_capacity = std::strtoull(val, nullptr, 10);
     } else if (key == "--repeat" && (val = next())) {
       args->repeat = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
+    } else if (key == "--default-deadline-ms" && (val = next())) {
+      args->default_deadline_ms = std::strtoull(val, nullptr, 10);
+    } else if (key == "--max-queue" && (val = next())) {
+      args->max_queue = std::strtoull(val, nullptr, 10);
+    } else if (key == "--drain-ms" && (val = next())) {
+      args->drain_ms = std::strtoull(val, nullptr, 10);
     } else if (key == "--output" && (val = next())) {
       args->output = val;
     } else if (key == "--stats-json" && (val = next())) {
@@ -131,6 +196,16 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+
+  // Block the shutdown signals before any thread exists so every later
+  // thread inherits the mask and only the watcher ever sees them.
+  g_drain_ms.store(args.drain_ms, std::memory_order_release);
+  sigset_t shutdown_set;
+  sigemptyset(&shutdown_set);
+  sigaddset(&shutdown_set, SIGINT);
+  sigaddset(&shutdown_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_set, nullptr);
+  StartSignalWatcher(shutdown_set);
 
   // --- the cold part: pay load (and, lazily, the index) once ------------
   Timer timer;
@@ -186,6 +261,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (req.id.empty()) req.id = "line:" + std::to_string(lineno);
+    if (req.deadline_ms == 0) req.deadline_ms = args.default_deadline_ms;
     requests.push_back(std::move(req));
     line_kind.push_back(0);
   }
@@ -196,6 +272,8 @@ int main(int argc, char** argv) {
   SchedulerOptions schopts;
   schopts.max_concurrent = args.concurrency;
   schopts.memo_capacity = args.memo_capacity;
+  schopts.max_queue = args.max_queue;
+  schopts.server_cancel = &ServerToken();
   BatchScheduler scheduler(session.get(), schopts);
 
   std::ofstream file_out;
@@ -213,8 +291,10 @@ int main(int argc, char** argv) {
   uint64_t answered = 0;
   double max_query_seconds = 0.0;
   bool any_error = !parse_errors.empty();
+  uint32_t passes_served = 0;
   for (uint32_t pass = 0; pass < args.repeat; ++pass) {
     std::vector<QueryResult> results = scheduler.RunBatch(requests);
+    ++passes_served;
     // Emit in input-line order, interleaving the parse failures where
     // their lines sat.
     size_t ri = 0, ei = 0;
@@ -226,6 +306,14 @@ int main(int argc, char** argv) {
       if (!res.status.ok()) any_error = true;
       max_query_seconds = std::max(max_query_seconds, res.seconds);
     }
+    // Drain: finish the pass in flight (every request already answered,
+    // degraded past the drain deadline), skip the rest.
+    if (g_shutdown.load(std::memory_order_acquire) &&
+        pass + 1 < args.repeat) {
+      std::fprintf(stderr, "drained after pass %u/%u\n", pass + 1,
+                   args.repeat);
+      break;
+    }
   }
   out->flush();
   const double serve_seconds = timer.ElapsedSeconds();
@@ -233,16 +321,21 @@ int main(int argc, char** argv) {
   const double qps =
       serve_seconds > 0.0 ? static_cast<double>(answered) / serve_seconds : 0.0;
 
+  const uint64_t invalid =
+      stats.errors + parse_errors.size() * passes_served;
   std::fprintf(stderr,
                "served %llu queries in %s (%.1f q/s): %llu computed, "
-               "%llu memo, %llu dedup, %llu invalid; max query %s\n",
+               "%llu memo, %llu dedup, %llu error, %llu degraded, "
+               "%llu shed, %llu cancelled; max query %s\n",
                static_cast<unsigned long long>(answered),
                FormatDuration(serve_seconds).c_str(), qps,
                static_cast<unsigned long long>(stats.computed),
                static_cast<unsigned long long>(stats.memo_hits),
                static_cast<unsigned long long>(stats.dedup_hits),
-               static_cast<unsigned long long>(
-                   stats.errors + parse_errors.size() * args.repeat),
+               static_cast<unsigned long long>(invalid),
+               static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.cancelled),
                FormatDuration(max_query_seconds).c_str());
 
   if (!args.stats_json.empty()) {
@@ -254,7 +347,11 @@ int main(int argc, char** argv) {
     sj << "{\"queries\":" << answered << ",\"computed\":" << stats.computed
        << ",\"memo_hits\":" << stats.memo_hits
        << ",\"dedup_hits\":" << stats.dedup_hits
-       << ",\"invalid\":" << stats.errors + parse_errors.size() * args.repeat
+       << ",\"invalid\":" << invalid
+       << ",\"degraded\":" << stats.degraded
+       << ",\"shed\":" << stats.shed
+       << ",\"cancelled\":" << stats.cancelled
+       << ",\"drained\":" << (g_shutdown.load() ? "true" : "false")
        << ",\"load_seconds\":" << load_seconds
        << ",\"serve_seconds\":" << serve_seconds
        << ",\"queries_per_second\":" << qps << "}\n";
