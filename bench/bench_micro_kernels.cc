@@ -84,6 +84,14 @@ const IspIndex& GridIsp() {
   return isp;
 }
 
+// Large synthetic fixture for the parallel-preprocessing measurement:
+// ~10x the other fixtures so the decomposition runs long enough for the
+// per-level barriers of the parallel pass to amortize.
+const Graph& BicompBenchFixture() {
+  static Graph g = SocialGraph(200000, 0.3, 5, 907);
+  return g;
+}
+
 const IspIndex& IspFixture(int which) {
   switch (which) {
     case 0: return SocialIsp();
@@ -568,6 +576,39 @@ Speedup MeasurePooledEngine() {
   return {"pooled_engine", base, opt};
 }
 
+/// Biconnected decomposition: the serial Hopcroft–Tarjan oracle vs the
+/// parallel Tarjan–Vishkin pass at 8 logical threads (the graph_convert
+/// default on an 8-way host). The parallel pass does ~2x the per-edge work
+/// of the serial DFS across its level-synchronous sweeps, so the ratio is
+/// hardware-bound: expect >= 2x on hosts with >= 4 physical cores and a
+/// ratio *below* 1x on single-core machines, where the sweeps run back to
+/// back (docs/benchmarks.md, "preprocess_parallel_speedup").
+Speedup MeasurePreprocessParallel() {
+  const Graph& g = BicompBenchFixture();
+  const uint32_t threads = 8;
+  {
+    // The measurement is only meaningful while the outputs stay identical.
+    BiconnectedComponents serial = ComputeBiconnectedComponents(g);
+    BiconnectedComponents par = ComputeBiconnectedComponentsParallel(g, threads);
+    SAPHYRA_CHECK(serial.arc_component == par.arc_component &&
+                  serial.is_cutpoint == par.is_cutpoint);
+  }
+  double base = 1e100, opt = 1e100;
+  for (int r = 0; r < 3; ++r) {
+    {
+      Timer timer;
+      benchmark::DoNotOptimize(ComputeBiconnectedComponents(g));
+      base = std::min(base, timer.ElapsedSeconds());
+    }
+    {
+      Timer timer;
+      benchmark::DoNotOptimize(ComputeBiconnectedComponentsParallel(g, threads));
+      opt = std::min(opt, timer.ElapsedSeconds());
+    }
+  }
+  return {"preprocess_parallel", base, opt};
+}
+
 void RunSpeedupSuite(const std::string& json_path) {
   std::printf("==== optimization speedups (baseline / optimized) ====\n");
   std::vector<Speedup> results;
@@ -590,6 +631,10 @@ void RunSpeedupSuite(const std::string& json_path) {
   results.push_back(MeasurePooledEngine());
   results.push_back(MeasureBinaryLoad());
   results.push_back(MeasureCachedPreprocess());
+  // Parallel biconnected decomposition (emitted as
+  // preprocess_parallel_speedup): serial oracle vs the Tarjan–Vishkin
+  // pass at 8 threads on the large synthetic fixture.
+  results.push_back(MeasurePreprocessParallel());
   // Serving layer: warm-session amortization (emitted as
   // serve_warm_speedup) — the cold side repeats session open + index
   // adoption per query, the warm side pays them once.
@@ -717,6 +762,17 @@ void BM_BiconnectedDecomposition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BiconnectedDecomposition)->Arg(0)->Arg(1);
+
+// The parallel pass on the same fixtures plus the large one (Arg 2).
+void BM_BiconnectedDecompositionParallel(benchmark::State& state) {
+  const Graph& g = state.range(0) == 0   ? SocialFixture()
+                   : state.range(0) == 1 ? RoadFixture()
+                                         : BicompBenchFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBiconnectedComponentsParallel(g, 8));
+  }
+}
+BENCHMARK(BM_BiconnectedDecompositionParallel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_IspIndexBuild(benchmark::State& state) {
   const Graph& g = state.range(0) == 0 ? SocialFixture() : RoadFixture();

@@ -8,19 +8,24 @@
 namespace saphyra {
 
 std::vector<EdgeIndex> ComputeReverseArcs(const Graph& g) {
+  // Counting sweep instead of a per-arc binary search: scanning sources in
+  // ascending order visits each node's in-neighbors in ascending order too
+  // (adjacency lists are sorted and deduplicated), so the next free slot in
+  // u's list is exactly where the current source sits in it.
   std::vector<EdgeIndex> rev(g.num_arcs());
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EdgeIndex base = g.offset(u);
-    auto nbr = g.neighbors(u);
+  std::vector<NodeId> cursor(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EdgeIndex base = g.offset(v);
+    auto nbr = g.neighbors(v);
     for (size_t i = 0; i < nbr.size(); ++i) {
-      NodeId v = nbr[i];
-      // Adjacency lists are sorted and deduplicated, so the position of u in
-      // v's list is unique and binary-searchable.
-      auto vn = g.neighbors(v);
-      auto it = std::lower_bound(vn.begin(), vn.end(), u);
-      SAPHYRA_CHECK(it != vn.end() && *it == u);
-      rev[base + i] = g.offset(v) + static_cast<EdgeIndex>(it - vn.begin());
+      NodeId u = nbr[i];
+      rev[g.offset(u) + cursor[u]++] = base + static_cast<EdgeIndex>(i);
     }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    // Every arc (u, v) must have been matched by the reverse arc (v, u);
+    // anything else means the adjacency structure is not symmetric.
+    SAPHYRA_CHECK(cursor[u] == g.degree(u));
   }
   return rev;
 }
@@ -97,7 +102,8 @@ Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
             return Status::FailedPrecondition(
                 "graph too deep for recursive decomposition (DFS depth > " +
                 std::to_string(max_depth) +
-                "); see the ROADMAP parallel-BCC item");
+                "); use the parallel-BCC pass "
+                "(ComputeBiconnectedComponentsParallel)");
           }
           disc[w] = low[w] = ++timer;
           edge_stack.push_back(e);
@@ -128,6 +134,22 @@ Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
     // Root articulation rule: handled above via root_children (the root is a
     // cutpoint iff it has >= 2 DFS children).
     if (root_children >= 2) out.is_cutpoint[root] = 1;
+  }
+
+  // Canonical numbering: components ordered by their smallest CSR arc
+  // index rather than DFS pop order, making the labeling a pure function
+  // of the graph. The parallel pass produces the same numbering, which is
+  // what keeps `.sgr` decomposition sections bitwise identical across
+  // --bicomp-threads settings.
+  {
+    std::vector<uint32_t> renumber(out.num_components, kInvalidComp);
+    uint32_t next = 0;
+    for (EdgeIndex e = 0; e < g.num_arcs(); ++e) {
+      uint32_t& id = renumber[out.arc_component[e]];
+      if (id == kInvalidComp) id = next++;
+    }
+    SAPHYRA_CHECK(next == out.num_components);
+    for (uint32_t& c : out.arc_component) c = renumber[c];
   }
 
   // Collect member nodes per component from the arc labels.

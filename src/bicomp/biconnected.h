@@ -16,10 +16,19 @@ constexpr uint32_t kInvalidComp = static_cast<uint32_t>(-1);
 /// \brief Biconnected (2-vertex-connected) decomposition of a graph.
 ///
 /// Computed with an iterative Hopcroft–Tarjan DFS (§IV-A of the paper,
-/// citing [43]). Every undirected edge belongs to exactly one biconnected
-/// component; a node belongs to every component one of its incident edges
-/// belongs to. Nodes in more than one component are cutpoints: removing one
-/// disconnects the graph (Fig. 2 of the paper).
+/// citing [43]) or the parallel Tarjan–Vishkin pass below. Every undirected
+/// edge belongs to exactly one biconnected component; a node belongs to
+/// every component one of its incident edges belongs to. Nodes in more than
+/// one component are cutpoints: removing one disconnects the graph (Fig. 2
+/// of the paper).
+///
+/// Canonicalization contract: component ids are assigned in order of each
+/// component's smallest CSR arc index, which makes every field of this
+/// struct a pure function of the graph — independent of the algorithm,
+/// traversal order, and thread count that produced it. The serial and
+/// parallel passes both honor this, so persisted `.sgr` decomposition
+/// sections are bitwise identical whichever pass wrote them
+/// (tests/bicomp_differential_test.cc pins this).
 struct BiconnectedComponents {
   /// Number of biconnected components (ℓ in the paper).
   uint32_t num_components = 0;
@@ -54,8 +63,22 @@ struct BiconnectedComponents {
   std::vector<uint32_t> cutpoint_comp_count_;
 };
 
-/// \brief Run the decomposition. O(n + m).
+/// \brief Run the serial decomposition. O(n + m).
 BiconnectedComponents ComputeBiconnectedComponents(const Graph& g);
+
+/// \brief Parallel decomposition on SharedThreadPool: a Tarjan–Vishkin
+/// style vertex labeling over a BFS spanning forest (spanning forest +
+/// preorder ranges + low/high sweeps), with no recursion and no
+/// depth-proportional stack — safe on graphs whose DFS tree is millions of
+/// levels deep. Output is field-for-field identical to
+/// ComputeBiconnectedComponents (see the canonicalization contract above).
+///
+/// `num_threads` = 0 sizes the pass to the shared pool's width; 1 delegates
+/// to the serial oracle; N > 1 uses N logical chunks (chunk boundaries
+/// depend only on N, so results are reproducible even when the pool has
+/// fewer workers). Every setting produces the same bytes.
+BiconnectedComponents ComputeBiconnectedComponentsParallel(
+    const Graph& g, uint32_t num_threads = 0);
 
 /// \brief The decomposition with an explicit DFS depth guard: fails with
 /// FailedPrecondition once the (heap-allocated) DFS stack would exceed

@@ -7,9 +7,12 @@
 
 namespace saphyra {
 
-IspIndex::IspIndex(const Graph& g)
+IspIndex::IspIndex(const Graph& g, const IspOptions& opts)
     : g_(&g),
-      bcc_(ComputeBiconnectedComponents(g)),
+      bcc_(opts.bicomp_threads == 1
+               ? ComputeBiconnectedComponents(g)
+               : ComputeBiconnectedComponentsParallel(g,
+                                                      opts.bicomp_threads)),
       conn_(ConnectedComponents(g)),
       tree_(BlockCutTree::Build(g, bcc_, conn_)),
       views_(g, bcc_) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bicomp_test_util.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "test_util.h"
@@ -12,6 +13,10 @@
 namespace saphyra {
 namespace {
 
+using testing::AllBccVariants;
+using testing::BccVariant;
+using testing::BccVariantName;
+using testing::ComputeBccVariant;
 using testing::MakeGraph;
 using testing::PaperFig2Graph;
 using testing::RandomConnectedGraph;
@@ -27,25 +32,37 @@ uint32_t EdgeComp(const Graph& g, const BiconnectedComponents& bcc, NodeId u,
   return kInvalidComp;
 }
 
-TEST(Biconnected, SingleEdge) {
+// One table of hand-graph structural expectations, run for every variant of
+// the decomposition (serial, bounded, parallel at 2 and 8 threads). The
+// expectations only use canonical structure — component counts, cutpoint
+// sets, label (in)equalities — so they hold for any correct implementation;
+// bitwise serial-vs-parallel identity is bicomp_differential_test.cc's job.
+class BiconnectedVariants : public ::testing::TestWithParam<BccVariant> {
+ protected:
+  BiconnectedComponents Compute(const Graph& g) {
+    return ComputeBccVariant(g, GetParam());
+  }
+};
+
+TEST_P(BiconnectedVariants, SingleEdge) {
   Graph g = MakeGraph(2, {{0, 1}});
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   EXPECT_EQ(bcc.num_components, 1u);
   EXPECT_FALSE(bcc.is_cutpoint[0]);
   EXPECT_FALSE(bcc.is_cutpoint[1]);
 }
 
-TEST(Biconnected, TriangleIsOneComponent) {
+TEST_P(BiconnectedVariants, TriangleIsOneComponent) {
   Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   EXPECT_EQ(bcc.num_components, 1u);
   for (NodeId v = 0; v < 3; ++v) EXPECT_FALSE(bcc.is_cutpoint[v]);
   EXPECT_EQ(bcc.component_nodes[0].size(), 3u);
 }
 
-TEST(Biconnected, PathGraphAllBridges) {
+TEST_P(BiconnectedVariants, PathGraphAllBridges) {
   Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   EXPECT_EQ(bcc.num_components, 4u);
   EXPECT_FALSE(bcc.is_cutpoint[0]);
   EXPECT_TRUE(bcc.is_cutpoint[1]);
@@ -54,9 +71,9 @@ TEST(Biconnected, PathGraphAllBridges) {
   EXPECT_FALSE(bcc.is_cutpoint[4]);
 }
 
-TEST(Biconnected, StarCenterIsCutpoint) {
+TEST_P(BiconnectedVariants, StarCenterIsCutpoint) {
   Graph g = MakeGraph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   EXPECT_EQ(bcc.num_components, 4u);
   EXPECT_TRUE(bcc.is_cutpoint[0]);
   EXPECT_EQ(bcc.NumComponentsOf(0), 4u);
@@ -66,9 +83,9 @@ TEST(Biconnected, StarCenterIsCutpoint) {
   }
 }
 
-TEST(Biconnected, PaperFig2Structure) {
+TEST_P(BiconnectedVariants, PaperFig2Structure) {
   Graph g = PaperFig2Graph();
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   // Five components: pentagon {a,b,c,d,e}, triangle {c,g,h}, bridge {d,f},
   // bridge {d,i}, triangle {i,j,k}.
   EXPECT_EQ(bcc.num_components, 5u);
@@ -93,49 +110,64 @@ TEST(Biconnected, PaperFig2Structure) {
   EXPECT_EQ(bcc.NumComponentsOf(8), 2u);
 }
 
-TEST(Biconnected, BothArcDirectionsShareLabel) {
+TEST_P(BiconnectedVariants, BothArcDirectionsShareLabel) {
   Graph g = PaperFig2Graph();
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   for (auto [u, v] : g.UndirectedEdges()) {
     EXPECT_EQ(EdgeComp(g, bcc, u, v), EdgeComp(g, bcc, v, u));
   }
 }
 
-TEST(Biconnected, DisconnectedGraphHandled) {
+TEST_P(BiconnectedVariants, DisconnectedGraphHandled) {
   // Triangle + separate path.
   Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}});
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   EXPECT_EQ(bcc.num_components, 3u);
   EXPECT_TRUE(bcc.is_cutpoint[4]);
   EXPECT_FALSE(bcc.is_cutpoint[0]);
 }
 
-TEST(Biconnected, IsolatedNodeHasNoComponent) {
+TEST_P(BiconnectedVariants, IsolatedNodeHasNoComponent) {
   Graph g = MakeGraph(3, {{0, 1}});
-  auto bcc = ComputeBiconnectedComponents(g);
+  auto bcc = Compute(g);
   EXPECT_EQ(bcc.node_component[2], kInvalidComp);
   EXPECT_EQ(bcc.NumComponentsOf(2), 0u);
 }
 
-TEST(ReverseArcs, InverseMapping) {
+TEST_P(BiconnectedVariants, ComponentIdsAreCanonical) {
+  // The canonicalization contract (biconnected.h): component ids ascend
+  // with each component's smallest CSR arc index, for every variant.
   Graph g = PaperFig2Graph();
-  auto rev = ComputeReverseArcs(g);
-  ASSERT_EQ(rev.size(), g.num_arcs());
+  auto bcc = Compute(g);
+  std::vector<EdgeIndex> min_arc(bcc.num_components, g.num_arcs());
   for (EdgeIndex e = 0; e < g.num_arcs(); ++e) {
-    EXPECT_EQ(rev[rev[e]], e);
-    EXPECT_NE(rev[e], e);
+    uint32_t c = bcc.arc_component[e];
+    ASSERT_LT(c, bcc.num_components);
+    min_arc[c] = std::min(min_arc[c], e);
+  }
+  for (uint32_t c = 1; c < bcc.num_components; ++c) {
+    EXPECT_LT(min_arc[c - 1], min_arc[c]);
   }
 }
 
-// Property sweep against an independent recursive reference implementation.
-class BiconnectedRandomized : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(AllVariants, BiconnectedVariants,
+                         ::testing::ValuesIn(AllBccVariants()),
+                         [](const auto& info) {
+                           return std::string(BccVariantName(info.param));
+                         });
+
+// Property sweep against an independent recursive reference implementation,
+// again for every variant.
+class BiconnectedRandomized
+    : public ::testing::TestWithParam<std::tuple<uint64_t, BccVariant>> {};
 
 TEST_P(BiconnectedRandomized, MatchesReferenceImplementation) {
-  Rng rng(GetParam());
+  const uint64_t seed = std::get<0>(GetParam());
+  Rng rng(seed);
   NodeId n = 5 + static_cast<NodeId>(rng.UniformInt(40));
   double extra = rng.UniformDouble() * 0.15;
-  Graph g = RandomConnectedGraph(n, extra, GetParam() * 31 + 1);
-  auto bcc = ComputeBiconnectedComponents(g);
+  Graph g = RandomConnectedGraph(n, extra, seed * 31 + 1);
+  auto bcc = ComputeBccVariant(g, std::get<1>(GetParam()));
   ReferenceBcc ref(g);
 
   EXPECT_EQ(static_cast<int>(bcc.num_components), ref.num_groups());
@@ -154,8 +186,9 @@ TEST_P(BiconnectedRandomized, MatchesReferenceImplementation) {
 }
 
 TEST_P(BiconnectedRandomized, CutpointMatchesRemovalOracle) {
-  Graph g = RandomConnectedGraph(24, 0.08, GetParam() + 500);
-  auto bcc = ComputeBiconnectedComponents(g);
+  const uint64_t seed = std::get<0>(GetParam());
+  Graph g = RandomConnectedGraph(24, 0.08, seed + 500);
+  auto bcc = ComputeBccVariant(g, std::get<1>(GetParam()));
   ComponentLabels base = ConnectedComponents(g);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     // Remove v and count components among the remaining nodes.
@@ -173,19 +206,38 @@ TEST_P(BiconnectedRandomized, CutpointMatchesRemovalOracle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, BiconnectedRandomized,
-                         ::testing::Range<uint64_t>(0, 10));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, BiconnectedRandomized,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 10),
+                       ::testing::ValuesIn(AllBccVariants())),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_" +
+             BccVariantName(std::get<1>(info.param));
+    });
+
+TEST(ReverseArcs, InverseMapping) {
+  Graph g = PaperFig2Graph();
+  auto rev = ComputeReverseArcs(g);
+  ASSERT_EQ(rev.size(), g.num_arcs());
+  for (EdgeIndex e = 0; e < g.num_arcs(); ++e) {
+    EXPECT_EQ(rev[rev[e]], e);
+    EXPECT_NE(rev[e], e);
+  }
+}
 
 // Structured family: trees of varying size — every edge its own component,
-// every internal node a cutpoint.
+// every internal node a cutpoint. All variants share the table.
 class TreeBcc : public ::testing::TestWithParam<NodeId> {};
 
 TEST_P(TreeBcc, TreesDecomposeIntoBridges) {
   Graph g = RandomTree(GetParam(), 777);
-  auto bcc = ComputeBiconnectedComponents(g);
-  EXPECT_EQ(bcc.num_components, g.num_edges());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    EXPECT_EQ(bcc.is_cutpoint[v] != 0, g.degree(v) >= 2);
+  for (BccVariant variant : AllBccVariants()) {
+    auto bcc = ComputeBccVariant(g, variant);
+    EXPECT_EQ(bcc.num_components, g.num_edges()) << BccVariantName(variant);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(bcc.is_cutpoint[v] != 0, g.degree(v) >= 2)
+          << BccVariantName(variant);
+    }
   }
 }
 

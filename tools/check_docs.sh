@@ -72,6 +72,23 @@ else
   done
 fi
 
+# --- 4b. the parallel-bicomp contract stays wired ---------------------------
+# graph_convert must keep parsing --bicomp-threads (the serial-oracle
+# escape hatch) and the preprocess_parallel_speedup metric must stay
+# documented next to its hardware caveat.
+if ! grep -qF -- '"--bicomp-threads"' "$REPO_ROOT/tools/graph_convert.cc"; then
+  echo "check_docs: tools/graph_convert.cc no longer parses --bicomp-threads" >&2
+  fail=1
+fi
+if ! grep -qF -- "--bicomp-threads" "$cli_doc"; then
+  echo "check_docs: docs/cli.md no longer documents --bicomp-threads" >&2
+  fail=1
+fi
+if ! grep -qF "preprocess_parallel_speedup" "$REPO_ROOT/docs/benchmarks.md"; then
+  echo "check_docs: docs/benchmarks.md no longer documents preprocess_parallel_speedup" >&2
+  fail=1
+fi
+
 # --- 5. every BENCH_micro.json key is documented somewhere -----------------
 bench_json="$REPO_ROOT/BENCH_micro.json"
 doc_files=("$REPO_ROOT/README.md" "$REPO_ROOT/DESIGN.md" "$REPO_ROOT"/docs/*.md)
