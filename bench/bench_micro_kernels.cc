@@ -690,6 +690,12 @@ void RunSpeedupSuite(const std::string& json_path) {
   out << "  \"batch_throughput_cache_served\": " << batch.cache_served
       << ",\n";
   out << "  \"batch_throughput_qps\": " << batch.qps() << ",\n";
+  // Host context for the hardware-bound ratios (preprocess_parallel_*
+  // above all): a sub-1x parallel speedup on a 1-thread container is the
+  // expected reading, not a regression, and regression tooling can only
+  // tell the difference if the measurement records the machine.
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
   out << "  \"path_sampling_speedup\": " << path_speedup << "\n}\n";
   std::printf("[speedup] wrote %s\n", json_path.c_str());
 }

@@ -132,6 +132,11 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
         return Status::InvalidArgument("id must be a string");
       }
       out->id = value.string_value;
+    } else if (key == "graph") {
+      if (value.type != JsonValue::Type::kString) {
+        return Status::InvalidArgument("graph must be a string");
+      }
+      out->graph = value.string_value;
     } else if (key == "estimator") {
       if (value.type != JsonValue::Type::kString ||
           !ParseEstimatorKind(value.string_value, &out->estimator)) {
@@ -205,6 +210,9 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
 
 std::string SerializeQueryResult(const QueryResult& res) {
   std::string out = "{\"id\":" + JsonQuote(res.id);
+  // Emitted only when routed by name, so single-graph servers (and their
+  // clients' parsers) see exactly the lines they always did.
+  if (!res.graph.empty()) out += ",\"graph\":" + JsonQuote(res.graph);
   if (!res.status.ok()) {
     out += ",\"ok\":false,\"code\":\"";
     out += StatusCodeWireName(res.status.code());

@@ -52,6 +52,13 @@ bool ParseEstimatorKind(const std::string& s, EstimatorKind* out);
 struct QueryRequest {
   /// Client-chosen identifier, echoed back verbatim in the result line.
   std::string id;
+  /// Which pooled graph answers the query, by registered name ("" = the
+  /// server's default graph). Routing-only, NOT part of the cache key:
+  /// the key already embeds the resolved graph's content fingerprint, so
+  /// two names serving identical bytes share memo entries and two names
+  /// serving different graphs can never collide. Single-session servers
+  /// reject a non-empty name they were not started with (NOT_FOUND).
+  std::string graph;
   EstimatorKind estimator = EstimatorKind::kBc;
 
   // --- statistical parameters (part of the cache key) ------------------
@@ -125,6 +132,10 @@ const char* ServeModeName(ServeMode mode);
 /// \brief One answered query.
 struct QueryResult {
   std::string id;
+  /// The graph name the request routed to, echoed back so clients of a
+  /// multi-graph server can demux; empty (and absent from the NDJSON
+  /// line) on single-graph servers and unrouted errors.
+  std::string graph;
   Status status;
   EstimatorKind estimator = EstimatorKind::kBc;
   /// Nodes and their estimates, aligned; ranking order is the caller's

@@ -9,10 +9,42 @@
 #include "util/failpoint.h"
 
 namespace saphyra {
+namespace {
+
+// Actual footprint of a memo entry: the canonical encoding is stored
+// twice (LRU node + index key), the result's payload vectors dominate
+// everything else, and the fixed overhead stands in for the two node
+// structures and the QueryResult scalars.
+size_t MemoEntryCost(const std::string& canonical, const QueryResult& res) {
+  return 2 * canonical.size() + res.id.size() + res.graph.size() +
+         res.nodes.size() * sizeof(NodeId) +
+         res.estimates.size() * sizeof(double) + 160;
+}
+
+}  // namespace
 
 BatchScheduler::BatchScheduler(QuerySession* session,
                                const SchedulerOptions& options)
     : session_(session), options_(options) {}
+
+BatchScheduler::BatchScheduler(SessionPool* pool,
+                               const SchedulerOptions& options)
+    : pool_(pool), options_(options) {}
+
+Status BatchScheduler::ResolveSession(const std::string& graph,
+                                      std::shared_ptr<QuerySession>* out) {
+  if (pool_ != nullptr) return pool_->Acquire(graph, out);
+  if (!graph.empty()) {
+    return Status::NotFound("this server hosts a single unnamed graph "
+                            "(request named \"" + graph + "\")");
+  }
+  // Non-owning handle over the borrowed session: the aliasing constructor
+  // gives the callers the same pinned-pointer shape as pool mode without
+  // the scheduler ever owning the session.
+  *out = std::shared_ptr<QuerySession>(std::shared_ptr<QuerySession>(),
+                                       session_);
+  return Status::OK();
+}
 
 std::shared_ptr<const QueryResult> BatchScheduler::LookupMemoLocked(
     const QueryCacheKey& key) {
@@ -32,9 +64,20 @@ void BatchScheduler::InsertMemoLocked(
     memo_.splice(memo_.begin(), memo_, it->second);
     return;
   }
-  memo_.push_front({key.canonical, std::move(result)});
+  const size_t cost = MemoEntryCost(key.canonical, *result);
+  if (options_.memo_capacity_bytes != 0 &&
+      cost > options_.memo_capacity_bytes) {
+    // Caching this one result would evict the entire memo and still bust
+    // the budget; serve it uncached instead.
+    return;
+  }
+  memo_.push_front({key.canonical, cost, std::move(result)});
+  memo_bytes_ += cost;
   memo_index_[key.canonical] = memo_.begin();
-  while (memo_.size() > options_.memo_capacity) {
+  while (memo_.size() > options_.memo_capacity ||
+         (options_.memo_capacity_bytes != 0 &&
+          memo_bytes_ > options_.memo_capacity_bytes)) {
+    memo_bytes_ -= memo_.back().bytes;
     memo_index_.erase(memo_.back().canonical);
     memo_.pop_back();
     ++stats_.evictions;
@@ -42,8 +85,16 @@ void BatchScheduler::InsertMemoLocked(
 }
 
 QueryResult BatchScheduler::Run(const QueryRequest& request) {
-  QueryRequest canonical = request;
-  Status st = CanonicalizeQuery(session_->graph().num_nodes(), &canonical);
+  // Route first: the target range check inside canonicalization needs the
+  // resolved graph's node count, and a cold pooled graph loads here (the
+  // pinned handle keeps it valid even if the pool evicts it meanwhile).
+  std::shared_ptr<QuerySession> session;
+  Status st = ResolveSession(request.graph, &session);
+  QueryRequest canonical;
+  if (st.ok()) {
+    canonical = request;
+    st = CanonicalizeQuery(session->graph().num_nodes(), &canonical);
+  }
   if (st.ok()) st = fail::FaultStatus("scheduler.admit");
   if (!st.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -51,11 +102,12 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     ++stats_.errors;
     QueryResult res;
     res.id = request.id;
+    res.graph = request.graph;
     res.estimator = request.estimator;
     res.status = st;
     return res;
   }
-  const QueryCacheKey key = MakeQueryCacheKey(session_->fingerprint(),
+  const QueryCacheKey key = MakeQueryCacheKey(session->fingerprint(),
                                               canonical);
 
   // Per-query cancellation: the deadline starts at admission (queue time
@@ -68,8 +120,10 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     token.TightenDeadline(Deadline::AfterMillis(canonical.deadline_ms));
   }
 
+  const uint32_t cap = std::max<uint32_t>(1, options_.max_concurrent);
   std::shared_ptr<Inflight> entry;
   std::shared_ptr<const QueryResult> memo_hit;
+  Status slot_st;
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.queries;
@@ -79,31 +133,67 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     } else {
       auto it = inflight_.find(key.canonical);
       if (it != inflight_.end()) {
+        // Dedup join: costs no slot, so it neither counts against
+        // max_queue nor can be shed — even a full queue joins here.
         entry = it->second;
         ++stats_.dedup_hits;
         entry->cv.wait(lock, [&entry] { return entry->done; });
         QueryResult res = entry->result;
         res.id = request.id;
+        res.graph = request.graph;
         res.mode = ServeMode::kDeduped;
         res.seconds = 0.0;
         return res;
       }
-      // Shed before registering: a query that would wait behind max_queue
-      // other owners gets an immediate backpressure error instead.
-      if (options_.max_queue != 0 && waiting_ >= options_.max_queue) {
+      // Shed only queries that would actually wait: with a free execution
+      // slot the queue is not involved, however full it is (registration
+      // below and slot acquisition are one critical section, so "free
+      // here" means "ours" — the old two-section flow could shed a query
+      // while a slot sat idle).
+      if (running_ >= cap && options_.max_queue != 0 &&
+          waiting_ >= options_.max_queue) {
         ++stats_.shed;
         ++stats_.errors;
         QueryResult res;
         res.id = request.id;
+        res.graph = request.graph;
         res.estimator = canonical.estimator;
         res.status = Status::ResourceExhausted(
             "admission queue full (max_queue=" +
             std::to_string(options_.max_queue) + ")");
         return res;
       }
+      // Registered-before-queued: duplicates arriving while this query
+      // waits for a slot dedup onto the entry instead of queueing their
+      // own execution.
       entry = std::make_shared<Inflight>();
       inflight_[key.canonical] = entry;
-      ++waiting_;
+      // Acquire a slot, honoring the token throughout: a query whose
+      // deadline expires (or whose server is cancelled) before it ever
+      // runs has no partial waves to report, so it answers with the bare
+      // error. `queued` flips only once the query genuinely blocks —
+      // a query admitted straight into a free slot never inflates
+      // waiting_ (which the shed check above compares to max_queue).
+      bool queued = false;
+      for (;;) {
+        const StatusCode why = token.Check();
+        if (why != StatusCode::kOk) {
+          slot_st = CancelToken::ToStatus(why, "queued query " + request.id);
+          if (queued) --waiting_;
+          break;
+        }
+        if (running_ < cap) {
+          ++running_;
+          if (queued) --waiting_;
+          ++stats_.computed;
+          break;
+        }
+        if (!queued) {
+          queued = true;
+          ++waiting_;
+        }
+        slot_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      }
     }
   }
   if (memo_hit != nullptr) {
@@ -111,35 +201,10 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     // immutable and shared by pointer, so the hit itself was O(1).
     QueryResult res = *memo_hit;
     res.id = request.id;
+    res.graph = request.graph;
     res.mode = ServeMode::kMemoized;
     res.seconds = 0.0;
     return res;
-  }
-
-  // Acquire an execution slot, honoring the token while queued: a query
-  // whose deadline expires (or whose server is cancelled) before it ever
-  // runs has no partial waves to report, so it answers with the bare
-  // error. Registered-before-queued means duplicates arriving meanwhile
-  // dedup onto this entry rather than queueing their own execution.
-  const uint32_t cap = std::max<uint32_t>(1, options_.max_concurrent);
-  Status slot_st;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      const StatusCode why = token.Check();
-      if (why != StatusCode::kOk) {
-        slot_st = CancelToken::ToStatus(why, "queued query " + request.id);
-        --waiting_;
-        break;
-      }
-      if (running_ < cap) {
-        ++running_;
-        --waiting_;
-        ++stats_.computed;
-        break;
-      }
-      slot_cv_.wait_for(lock, std::chrono::milliseconds(10));
-    }
   }
 
   QueryResult res;
@@ -150,7 +215,7 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     // the estimator (e.g. bad_alloc) that left it pending would wedge
     // every future request with this key in the dedup wait.
     try {
-      res = session_->RunCanonical(canonical, &token);
+      res = session->RunCanonical(canonical, &token);
     } catch (const std::exception& e) {
       res.status = Status::Internal(std::string("query execution failed: ") +
                                     e.what());
@@ -162,6 +227,7 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     slot_cv_.notify_one();
   }
   res.id = request.id;
+  res.graph = request.graph;
   res.estimator = canonical.estimator;  // a no-op when RunCanonical ran
   if (res.status.ok()) res.mode = ServeMode::kComputed;
   // Materialize the memo entry before taking the lock: the O(|result|)
@@ -219,7 +285,10 @@ std::vector<QueryResult> BatchScheduler::RunBatch(
 
 SchedulerStats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SchedulerStats snapshot = stats_;
+  snapshot.memo_bytes = memo_bytes_;
+  snapshot.queued = waiting_;
+  return snapshot;
 }
 
 }  // namespace saphyra

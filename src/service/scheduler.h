@@ -2,13 +2,22 @@
 #define SAPHYRA_SERVICE_SCHEDULER_H_
 
 /// \file
-/// BatchScheduler: admission, deduplication and memoization over a
-/// QuerySession. Admits up to `max_concurrent` queries at once (each runs
-/// on its own driver thread; sample generation inside them shares
+/// BatchScheduler: admission, deduplication and memoization over warm
+/// query sessions. Admits up to `max_concurrent` queries at once (each
+/// runs on its own driver thread; sample generation inside them shares
 /// SharedThreadPool through per-call task groups), collapses identical
 /// in-flight requests onto one execution, and memoizes completed results
 /// in an LRU keyed by the canonical query encoding — which includes the
 /// graph's content fingerprint, so results can never leak across graphs.
+///
+/// A scheduler fronts either one QuerySession (the single-graph servers
+/// and tests) or a SessionPool (multi-graph tenancy): each admitted
+/// request is routed by its `graph` name to the pooled session, which the
+/// scheduler pins (shared_ptr handle) for the duration of the run — the
+/// pool may evict the graph meanwhile, and the query still completes on
+/// the pinned session. The memo, dedup table and slot gate are shared
+/// across all graphs: safe by construction, because the cache key's
+/// fingerprint prefix partitions entries per graph *content*.
 ///
 /// Memoization is sound because of the determinism contract: a canonical
 /// key pins every statistical parameter of the run, and the contract
@@ -25,7 +34,7 @@
 ///
 /// Ownership/threading: all public methods are thread-safe; one mutex
 /// guards the memo, the in-flight table, the slot gate and the stats. The
-/// session must outlive the scheduler.
+/// session (or pool) must outlive the scheduler.
 
 #include <condition_variable>
 #include <cstdint>
@@ -37,6 +46,7 @@
 
 #include "service/query.h"
 #include "service/session.h"
+#include "service/session_pool.h"
 #include "util/cancel.h"
 
 namespace saphyra {
@@ -46,15 +56,22 @@ struct SchedulerOptions {
   /// also the RunBatch driver count. Enforced inside Run(), so direct
   /// concurrent callers queue for a slot too.
   uint32_t max_concurrent = 1;
-  /// Completed-result LRU capacity in *entries* (0 disables memoization).
-  /// Entries are O(|targets|) — but whole-network results (bc-full, or a
-  /// targetless baseline query) are O(n) each, so size this down when
-  /// memoizing full-graph queries on very large graphs.
+  /// Completed-result LRU capacity in entries (0 disables memoization).
   size_t memo_capacity = 64;
+  /// Byte budget of the memo LRU (0 = unbounded). Entries are charged
+  /// their actual footprint — O(|targets|) for subset queries but O(n)
+  /// for whole-network results (bc-full, targetless baselines) — so one
+  /// big result displaces proportionally many small ones instead of
+  /// counting as "1 of 64". A result larger than the whole budget is
+  /// served but not cached. Evictions happen when either this or
+  /// memo_capacity is exceeded.
+  size_t memo_capacity_bytes = 64ull << 20;
   /// Admission bound: queries queued for an execution slot beyond this
   /// many are shed immediately with RESOURCE_EXHAUSTED instead of
-  /// waiting (0 = unbounded). Memo and dedup hits are never shed — they
-  /// cost no slot.
+  /// waiting (0 = unbounded). Only genuinely queued queries count or are
+  /// counted against: memo and dedup hits cost no slot and are never
+  /// shed, and a query admitted straight into a free slot never touches
+  /// the queue.
   size_t max_queue = 0;
   /// Server-wide shutdown token, chained as the parent of every per-query
   /// token: Cancel() stops new executions with CANCELLED and makes
@@ -73,12 +90,21 @@ struct SchedulerStats {
   uint64_t shed = 0;         ///< rejected at admission (RESOURCE_EXHAUSTED)
   uint64_t degraded = 0;     ///< answered from a deadline-truncated run
   uint64_t cancelled = 0;    ///< answered CANCELLED (server shutdown)
+  uint64_t memo_bytes = 0;   ///< gauge: current memo LRU footprint
+  uint64_t queued = 0;       ///< gauge: queries waiting for a slot now
 };
 
-/// \brief Concurrent query front door over one warm QuerySession.
+/// \brief Concurrent query front door over warm sessions.
 class BatchScheduler {
  public:
+  /// \brief Single-graph mode: every request runs on `session`; requests
+  /// naming a graph are rejected with NOT_FOUND. Borrowed; must outlive
+  /// the scheduler.
   BatchScheduler(QuerySession* session, const SchedulerOptions& options);
+  /// \brief Multi-graph mode: requests route through `pool` by their
+  /// `graph` name ("" = the pool's default graph). Borrowed; must outlive
+  /// the scheduler.
+  BatchScheduler(SessionPool* pool, const SchedulerOptions& options);
 
   /// \brief Answer one request through the memo/dedup machinery.
   /// Thread-safe; concurrent callers with the same canonical key share one
@@ -93,7 +119,6 @@ class BatchScheduler {
   std::vector<QueryResult> RunBatch(const std::vector<QueryRequest>& requests);
 
   SchedulerStats stats() const;
-  QuerySession* session() const { return session_; }
 
  private:
   struct Inflight {
@@ -106,8 +131,15 @@ class BatchScheduler {
   /// copy (id/mode adjustment) happens outside mu_.
   struct MemoEntry {
     std::string canonical;
+    /// Byte cost charged against memo_capacity_bytes, fixed at insertion.
+    size_t bytes = 0;
     std::shared_ptr<const QueryResult> result;
   };
+
+  /// Pin the session the request routes to: the pool's (loading it if
+  /// cold) in pool mode, the borrowed single session otherwise.
+  Status ResolveSession(const std::string& graph,
+                        std::shared_ptr<QuerySession>* out);
 
   /// Memo lookup + LRU touch; non-null on hit. Caller holds mu_.
   std::shared_ptr<const QueryResult> LookupMemoLocked(
@@ -116,7 +148,8 @@ class BatchScheduler {
   void InsertMemoLocked(const QueryCacheKey& key,
                         std::shared_ptr<const QueryResult> result);
 
-  QuerySession* session_;
+  QuerySession* session_ = nullptr;  ///< single-graph mode
+  SessionPool* pool_ = nullptr;      ///< multi-graph mode
   SchedulerOptions options_;
 
   mutable std::mutex mu_;
@@ -130,6 +163,7 @@ class BatchScheduler {
   std::condition_variable slot_cv_;
   /// LRU list, most-recent first, with an index by canonical encoding.
   std::list<MemoEntry> memo_;
+  size_t memo_bytes_ = 0;
   std::map<std::string, std::list<MemoEntry>::iterator> memo_index_;
   std::map<std::string, std::shared_ptr<Inflight>> inflight_;
 };

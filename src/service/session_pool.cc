@@ -1,0 +1,223 @@
+#include "service/session_pool.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace saphyra {
+namespace {
+
+// Resolve a registration path so that two spellings of the same file
+// ("data/g.txt" vs "./data/./g.txt") share one pool entry. weakly_
+// canonical tolerates not-yet-existing files (the load will report the
+// real error later, attributed to the name the client used).
+std::string ResolvePath(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::path resolved =
+      std::filesystem::weakly_canonical(std::filesystem::path(path), ec);
+  if (ec) return path;
+  return resolved.string();
+}
+
+// Re-wrap `st` with the graph name prepended, preserving the code.
+Status Annotate(const std::string& name, const Status& st) {
+  const std::string msg = "graph \"" + name + "\": " + st.message();
+  switch (st.code()) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case StatusCode::kIOError:
+      return Status::IOError(msg);
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(msg);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(msg);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(msg);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(msg);
+    case StatusCode::kInternal:
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+}  // namespace
+
+SessionPool::SessionPool(const SessionPoolOptions& options)
+    : options_(options) {}
+
+Status SessionPool::Register(const std::string& name,
+                             const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("graph path must be non-empty (graph \"" +
+                                   name + "\")");
+  }
+  const std::string resolved = ResolvePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_name_.count(name) != 0) {
+    return Status::InvalidArgument("graph \"" + name +
+                                   "\" registered twice");
+  }
+  std::shared_ptr<Entry> entry;
+  auto it = by_path_.find(resolved);
+  if (it != by_path_.end()) {
+    entry = it->second;  // alias: share the session and its counters
+  } else {
+    entry = std::make_shared<Entry>();
+    entry->path = resolved;
+    entry->lru_pos = lru_.end();
+    by_path_[resolved] = entry;
+  }
+  by_name_[name] = std::move(entry);
+  names_.push_back(name);
+  return Status::OK();
+}
+
+void SessionPool::TouchLocked(Entry* e) {
+  if (e->lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, e->lru_pos);
+  }
+}
+
+void SessionPool::PublishLocked(Entry* e,
+                                std::shared_ptr<QuerySession> session) {
+  e->fingerprint = session->fingerprint();
+  e->session = std::move(session);
+  lru_.push_front(e);
+  e->lru_pos = lru_.begin();
+  ++e->loads;
+  if (options_.max_graphs == 0) return;
+  while (lru_.size() > options_.max_graphs) {
+    Entry* victim = lru_.back();
+    lru_.pop_back();
+    victim->lru_pos = lru_.end();
+    // Only the pool's reference is dropped: queries holding an Acquire
+    // handle keep the evicted session alive until they finish.
+    victim->session.reset();
+    ++victim->evictions;
+  }
+}
+
+Status SessionPool::Acquire(const std::string& name,
+                            std::shared_ptr<QuerySession>* out) {
+  out->reset();
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string resolved_name = name;
+  if (resolved_name.empty()) {
+    if (names_.empty()) {
+      return Status::FailedPrecondition("session pool has no graphs");
+    }
+    resolved_name = names_.front();
+  }
+  auto it = by_name_.find(resolved_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown graph \"" + resolved_name + "\"");
+  }
+  std::shared_ptr<Entry> entry = it->second;
+  ++entry->acquires;
+
+  for (;;) {
+    if (entry->session != nullptr) {
+      TouchLocked(entry.get());
+      *out = entry->session;
+      return Status::OK();
+    }
+    if (!entry->loading) break;  // cold and idle: this caller loads
+    // Someone else is loading this graph. Wait for their attempt and
+    // adopt its outcome — success hands us the session on the next spin;
+    // failure is their attempt's error, reported to everyone who waited
+    // on it (a later Acquire starts a fresh attempt).
+    const uint64_t waited_generation = entry->load_generation;
+    entry->cv.wait(lock, [&] {
+      return entry->load_generation != waited_generation;
+    });
+    if (entry->session == nullptr && !entry->loading &&
+        !entry->last_error.ok()) {
+      return entry->last_error;
+    }
+  }
+
+  entry->loading = true;
+  lock.unlock();
+  // The expensive part — graph load (+ eager index), outside the pool
+  // lock so other graphs keep serving.
+  std::unique_ptr<QuerySession> session;
+  Status st = QuerySession::Open(entry->path, options_.session, &session);
+  lock.lock();
+  entry->loading = false;
+  ++entry->load_generation;
+  if (st.ok()) {
+    std::shared_ptr<QuerySession> shared = std::move(session);
+    PublishLocked(entry.get(), shared);
+    entry->last_error = Status::OK();
+    entry->cv.notify_all();
+    *out = std::move(shared);
+    return Status::OK();
+  }
+  entry->last_error = Annotate(resolved_name, st);
+  entry->cv.notify_all();
+  return entry->last_error;
+}
+
+Status SessionPool::Preload(const std::string& name) {
+  if (!name.empty()) {
+    std::shared_ptr<QuerySession> session;
+    return Acquire(name, &session);
+  }
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = names_;
+  }
+  for (const std::string& n : names) {
+    std::shared_ptr<QuerySession> session;
+    Status st = Acquire(n, &session);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+std::string SessionPool::default_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.empty() ? std::string() : names_.front();
+}
+
+size_t SessionPool::registered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+size_t SessionPool::resident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::vector<SessionPoolGraphStats> SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionPoolGraphStats> out;
+  out.reserve(names_.size());
+  for (const std::string& name : names_) {
+    const Entry& e = *by_name_.at(name);
+    SessionPoolGraphStats row;
+    row.name = name;
+    row.path = e.path;
+    row.fingerprint = e.fingerprint;
+    row.resident = e.session != nullptr;
+    row.acquires = e.acquires;
+    row.loads = e.loads;
+    row.evictions = e.evictions;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace saphyra

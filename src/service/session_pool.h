@@ -1,0 +1,146 @@
+#ifndef SAPHYRA_SERVICE_SESSION_POOL_H_
+#define SAPHYRA_SERVICE_SESSION_POOL_H_
+
+/// \file
+/// SessionPool: multi-graph tenancy for the serving layer. One process
+/// hosts many graphs; each is registered under a client-visible name
+/// (`--graph NAME=PATH`), loaded lazily into a warm QuerySession on its
+/// first query, and LRU-evicted once more than `max_graphs` are resident.
+///
+/// Graph identity. A registration resolves its path
+/// (std::filesystem::weakly_canonical), so two names registered against
+/// the same file share one entry — and therefore one loaded session. The
+/// loaded session's content fingerprint (GraphContentFingerprint, read
+/// from the `.sgr` header when available) is what the scheduler's memo
+/// keys embed, so even two *distinct files with identical CSR bytes*
+/// share memoized results by construction: identical content ⇒ identical
+/// fingerprint ⇒ identical cache key ⇒ the determinism contract says the
+/// bytes must match. The pool never has to compare graph contents itself.
+///
+/// Loading. Each entry loads at most once per residency: the first
+/// Acquire of a cold graph performs the load while concurrent acquirers
+/// of the *same* graph wait on the entry (call_once semantics, but
+/// reload-capable after eviction — a std::once_flag could never load
+/// again); acquirers of *other* graphs are never blocked, because the
+/// pool lock is dropped for the duration of the load. A failed load is
+/// reported to the acquirers that waited on that attempt; a later
+/// Acquire retries (transient I/O failures must not brick a name).
+///
+/// Eviction and pinning. Sessions are handed out as shared_ptr handles.
+/// Evicting a graph only drops the *pool's* reference: queries already
+/// running against the evicted session hold their own handle and finish
+/// normally; the graph's memory is returned when the last handle drops.
+/// A later Acquire reloads from the path — and the serving determinism
+/// contract guarantees the reloaded session serves bitwise-identical
+/// results (pinned by tests/serve_determinism_test.cc).
+///
+/// Ownership/threading: all public methods are thread-safe. One mutex
+/// guards the registry, the LRU and the stats; loads run outside it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/session.h"
+#include "util/status.h"
+
+namespace saphyra {
+
+struct SessionPoolOptions {
+  /// Per-session settings (load path, default threads, eager index),
+  /// shared by every graph in the pool.
+  SessionOptions session;
+  /// Resident-graph cap: loading a graph beyond this many evicts the
+  /// least-recently-acquired one (0 = unbounded). In-flight queries pin
+  /// their session; eviction only drops the pool's reference.
+  size_t max_graphs = 4;
+};
+
+/// \brief Per-graph counters, snapshot via SessionPool::stats(). One row
+/// per registered name; names aliasing the same resolved path share the
+/// underlying entry and therefore report identical counters.
+struct SessionPoolGraphStats {
+  std::string name;
+  std::string path;          ///< resolved registration path
+  uint64_t fingerprint = 0;  ///< 0 until first load
+  bool resident = false;     ///< pool currently holds a loaded session
+  uint64_t acquires = 0;     ///< queries routed to this graph
+  uint64_t loads = 0;        ///< cold/reload sessions built
+  uint64_t evictions = 0;    ///< times the pool dropped its reference
+};
+
+/// \brief A named, LRU-bounded pool of warm QuerySessions.
+class SessionPool {
+ public:
+  explicit SessionPool(const SessionPoolOptions& options);
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// \brief Register `name` → `path`. The first registration becomes the
+  /// default graph (the one an empty request `"graph"` field routes to).
+  /// Fails on an empty or duplicate name; registering a second name for
+  /// an already-registered resolved path aliases the existing entry.
+  Status Register(const std::string& name, const std::string& path);
+
+  /// \brief The warm session for `name` ("" = the default graph), loading
+  /// it first if cold. The returned handle pins the session for as long
+  /// as the caller holds it — eviction can never invalidate it.
+  Status Acquire(const std::string& name,
+                 std::shared_ptr<QuerySession>* out);
+
+  /// \brief Load `name` now ("" = every registered graph), through the
+  /// same LRU accounting as lazy loads. Lets servers fail fast on a bad
+  /// registration instead of surfacing it on the first query.
+  Status Preload(const std::string& name = "");
+
+  /// \brief Name of the default graph (first registered); empty if none.
+  std::string default_name() const;
+  size_t registered_count() const;
+  size_t resident_count() const;
+  std::vector<SessionPoolGraphStats> stats() const;
+
+ private:
+  struct Entry {
+    std::string path;  ///< resolved
+    std::shared_ptr<QuerySession> session;
+    bool loading = false;
+    /// Bumped when a load attempt finishes (either way); lets waiters
+    /// distinguish "the attempt I waited on failed" (return its error)
+    /// from "still cold, nobody tried" (start an attempt).
+    uint64_t load_generation = 0;
+    Status last_error;
+    std::condition_variable cv;
+    /// Position in lru_ when resident.
+    std::list<Entry*>::iterator lru_pos;
+    uint64_t fingerprint = 0;
+    uint64_t acquires = 0;
+    uint64_t loads = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Move `e` to the front of the LRU. Caller holds mu_; e is resident.
+  void TouchLocked(Entry* e);
+  /// Make `e` resident with `session`, evicting beyond max_graphs.
+  /// Caller holds mu_.
+  void PublishLocked(Entry* e, std::shared_ptr<QuerySession> session);
+
+  SessionPoolOptions options_;
+
+  mutable std::mutex mu_;
+  /// Registered names, in registration order (the first is the default).
+  std::vector<std::string> names_;
+  std::map<std::string, std::shared_ptr<Entry>> by_name_;
+  /// Resolved path → entry, so aliases share one session.
+  std::map<std::string, std::shared_ptr<Entry>> by_path_;
+  /// Resident entries, most-recently-acquired first.
+  std::list<Entry*> lru_;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_SERVICE_SESSION_POOL_H_

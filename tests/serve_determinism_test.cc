@@ -28,6 +28,7 @@
 #include "service/query.h"
 #include "service/scheduler.h"
 #include "service/session.h"
+#include "service/session_pool.h"
 #include "test_util.h"
 
 namespace saphyra {
@@ -41,10 +42,11 @@ std::string TempPath(const std::string& stem) {
 }
 
 struct GraphFiles {
-  std::string text_path = TempPath("graph.txt");
+  std::string text_path;
   std::string sgr_path;
 
-  explicit GraphFiles(const Graph& g) {
+  explicit GraphFiles(const Graph& g, const std::string& stem = "graph.txt")
+      : text_path(TempPath(stem)) {
     sgr_path = SgrCachePathFor(text_path);
     SAPHYRA_CHECK(SaveSnapEdgeList(g, text_path).ok());
     Graph parsed;
@@ -133,7 +135,9 @@ void ExpectBitwiseEqual(const QueryResult& a, const QueryResult& b,
 
 class ServeDeterminismTest : public ::testing::Test {
  protected:
-  ServeDeterminismTest() : files_(RandomConnectedGraph(60, 0.06, 33)) {}
+  ServeDeterminismTest()
+      : files_(RandomConnectedGraph(60, 0.06, 33)),
+        files_b_(RandomConnectedGraph(50, 0.08, 44), "graph_b.txt") {}
 
   std::unique_ptr<QuerySession> OpenSession(bool from_sgr,
                                             uint32_t default_threads = 1) {
@@ -148,6 +152,7 @@ class ServeDeterminismTest : public ::testing::Test {
   }
 
   GraphFiles files_;
+  GraphFiles files_b_;  ///< second tenant for the pooled-serving tests
 };
 
 TEST_F(ServeDeterminismTest, ColdEqualsWarmEqualsMemoized) {
@@ -300,6 +305,114 @@ TEST_F(ServeDeterminismTest, BicompThreadCountIsInertEndToEnd) {
   }
   std::remove(serial_path.c_str());
   std::remove(par_path.c_str());
+}
+
+TEST_F(ServeDeterminismTest, PooledTenancyMatchesSingleTenantBitwise) {
+  // The tenancy extension of the contract: a query's bytes are identical
+  // whether its graph is served single-tenant, pooled-and-resident, or
+  // pooled with constant eviction/reload churn (max_graphs=1 forces every
+  // alternation between the two graphs to cold-reload), at every
+  // admission concurrency. Memoization is off so each run is a real
+  // execution — including the post-reload ones.
+  const std::vector<QueryRequest> workload = MixedWorkload();
+
+  // Single-tenant baselines, one server per graph.
+  auto single_tenant = [&](const GraphFiles& files) {
+    std::unique_ptr<QuerySession> session;
+    SAPHYRA_CHECK(QuerySession::Open(files.sgr_path, SessionOptions(),
+                                     &session)
+                      .ok());
+    SchedulerOptions opts;
+    opts.memo_capacity = 0;
+    BatchScheduler scheduler(session.get(), opts);
+    return scheduler.RunBatch(workload);
+  };
+  const std::vector<QueryResult> baseline_a = single_tenant(files_);
+  const std::vector<QueryResult> baseline_b = single_tenant(files_b_);
+
+  // The pooled stream interleaves the two tenants query by query.
+  std::vector<QueryRequest> interleaved;
+  for (const QueryRequest& req : workload) {
+    QueryRequest on_a = req;
+    on_a.graph = "a";
+    on_a.id = req.id + "@a";
+    interleaved.push_back(on_a);
+    QueryRequest on_b = req;
+    on_b.graph = "b";
+    on_b.id = req.id + "@b";
+    interleaved.push_back(on_b);
+  }
+
+  for (size_t max_graphs : {size_t{1}, size_t{2}}) {
+    for (uint32_t concurrency : {1u, 2u, 8u}) {
+      SessionPoolOptions popts;
+      popts.max_graphs = max_graphs;
+      SessionPool pool(popts);
+      ASSERT_TRUE(pool.Register("a", files_.sgr_path).ok());
+      ASSERT_TRUE(pool.Register("b", files_b_.sgr_path).ok());
+      SchedulerOptions opts;
+      opts.max_concurrent = concurrency;
+      opts.memo_capacity = 0;
+      BatchScheduler scheduler(&pool, opts);
+      const std::vector<QueryResult> results =
+          scheduler.RunBatch(interleaved);
+      ASSERT_EQ(results.size(), 2 * workload.size());
+      for (size_t i = 0; i < workload.size(); ++i) {
+        const std::string ctx = "max_graphs=" + std::to_string(max_graphs) +
+                                " concurrency=" + std::to_string(concurrency) +
+                                " query " + workload[i].id;
+        ExpectBitwiseEqual(baseline_a[i], results[2 * i], ctx + "@a");
+        ExpectBitwiseEqual(baseline_b[i], results[2 * i + 1], ctx + "@b");
+        EXPECT_EQ(results[2 * i].graph, "a") << ctx;
+        EXPECT_EQ(results[2 * i + 1].graph, "b") << ctx;
+      }
+      if (max_graphs == 1 && concurrency == 1) {
+        // Serial alternation over a one-slot pool reloads on every switch:
+        // the bitwise equality above covered cold, reloaded, and
+        // evicted-while-previous-tenant-resident serves.
+        for (const SessionPoolGraphStats& g : pool.stats()) {
+          EXPECT_GE(g.loads, 2u) << g.name;
+          EXPECT_GE(g.evictions, 1u) << g.name;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ServeDeterminismTest, EvictionPinsInFlightAndReloadReproducesBytes) {
+  // shared_ptr pinning: a session evicted from the pool keeps serving the
+  // handles already out, bitwise-equal to before the eviction; and a
+  // fresh Acquire after the eviction reloads a session that reproduces
+  // the same bytes again.
+  QueryRequest req = MixedWorkload()[0];
+
+  SessionPoolOptions popts;
+  popts.max_graphs = 1;
+  SessionPool pool(popts);
+  ASSERT_TRUE(pool.Register("a", files_.sgr_path).ok());
+  ASSERT_TRUE(pool.Register("b", files_b_.sgr_path).ok());
+
+  std::shared_ptr<QuerySession> pinned_a;
+  ASSERT_TRUE(pool.Acquire("a", &pinned_a).ok());
+  const QueryResult before = pinned_a->Run(req);
+
+  std::shared_ptr<QuerySession> session_b;
+  ASSERT_TRUE(pool.Acquire("b", &session_b).ok());
+  EXPECT_EQ(pool.resident_count(), 1u);  // a evicted, pinned handle lives
+
+  ExpectBitwiseEqual(before, pinned_a->Run(req), "pinned post-eviction run");
+
+  std::shared_ptr<QuerySession> reloaded_a;
+  ASSERT_TRUE(pool.Acquire("a", &reloaded_a).ok());
+  EXPECT_NE(reloaded_a.get(), pinned_a.get());
+  ExpectBitwiseEqual(before, reloaded_a->Run(req), "reload-after-evict run");
+
+  for (const SessionPoolGraphStats& g : pool.stats()) {
+    if (g.name == "a") {
+      EXPECT_EQ(g.loads, 2u);
+      EXPECT_GE(g.evictions, 1u);
+    }
+  }
 }
 
 TEST_F(ServeDeterminismTest, SerializedEstimatesRoundTripBitwise) {

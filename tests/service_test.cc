@@ -5,12 +5,14 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <limits>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -21,6 +23,7 @@
 #include "service/query.h"
 #include "service/scheduler.h"
 #include "service/session.h"
+#include "service/session_pool.h"
 #include "test_util.h"
 
 namespace saphyra {
@@ -38,10 +41,11 @@ std::string TempPath(const std::string& stem) {
 
 /// A text graph file + its full `.sgr` cache, removed on destruction.
 struct GraphFiles {
-  std::string text_path = TempPath("graph.txt");
+  std::string text_path;
   std::string sgr_path;
 
-  explicit GraphFiles(const Graph& g) {
+  explicit GraphFiles(const Graph& g, const std::string& stem = "graph.txt")
+      : text_path(TempPath(stem)) {
     sgr_path = SgrCachePathFor(text_path);
     SAPHYRA_CHECK(SaveSnapEdgeList(g, text_path).ok());
     Graph parsed;
@@ -89,6 +93,27 @@ TEST(ParseQueryRequestTest, DefaultsMatchOptionStructs) {
   EXPECT_EQ(req.top_k, 0u);
   EXPECT_EQ(req.deadline_ms, 0u);
   EXPECT_TRUE(req.targets.empty());
+}
+
+TEST(ParseQueryRequestTest, GraphField) {
+  QueryRequest req;
+  ASSERT_TRUE(ParseQueryRequest(R"({"graph":"road","seed":3})", &req).ok());
+  EXPECT_EQ(req.graph, "road");
+  ASSERT_TRUE(ParseQueryRequest("{}", &req).ok());
+  EXPECT_TRUE(req.graph.empty());
+  EXPECT_FALSE(ParseQueryRequest(R"({"graph":7})", &req).ok());
+}
+
+TEST(MakeQueryCacheKeyTest, GraphNameIsRoutingOnly) {
+  // The graph *name* never reaches the cache key — only the resolved
+  // fingerprint does. Two names serving content-identical graphs share
+  // entries; different content splits on the fingerprint.
+  QueryRequest a;
+  ASSERT_TRUE(CanonicalizeQuery(10, &a).ok());
+  QueryRequest b = a;
+  b.graph = "alias";
+  EXPECT_TRUE(MakeQueryCacheKey(1, a) == MakeQueryCacheKey(1, b));
+  EXPECT_FALSE(MakeQueryCacheKey(1, a) == MakeQueryCacheKey(2, b));
 }
 
 TEST(ParseQueryRequestTest, DeadlineMs) {
@@ -391,6 +416,234 @@ TEST(BatchSchedulerTest, LruEvicts) {
   EXPECT_EQ(no_memo.Run(req).mode, ServeMode::kComputed);
 }
 
+TEST(BatchSchedulerTest, MemoChargesBytesNotJustEntries) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+
+  QueryRequest req;
+  req.estimator = EstimatorKind::kCloseness;
+  req.targets = {0, 1};
+
+  // Measure one entry's charged footprint through the stats gauge.
+  BatchScheduler probe(session.get(), SchedulerOptions());
+  req.seed = 1;
+  ASSERT_TRUE(probe.Run(req).status.ok());
+  const uint64_t entry_bytes = probe.stats().memo_bytes;
+  ASSERT_GT(entry_bytes, 0u);
+
+  // A budget of ~2.5 entries holds exactly two: the third insertion must
+  // evict the least-recent even though the 64-entry cap is nowhere near.
+  SchedulerOptions opts;
+  opts.memo_capacity_bytes = entry_bytes * 5 / 2;
+  BatchScheduler scheduler(session.get(), opts);
+  req.seed = 1;
+  scheduler.Run(req);  // memo: {1}
+  req.seed = 2;
+  scheduler.Run(req);  // memo: {2, 1}
+  req.seed = 3;
+  scheduler.Run(req);  // bytes force out 1 -> memo: {3, 2}
+  EXPECT_GE(scheduler.stats().evictions, 1u);
+  EXPECT_LE(scheduler.stats().memo_bytes, opts.memo_capacity_bytes);
+  req.seed = 2;
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);
+  req.seed = 1;
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kComputed);
+
+  // A result bigger than the whole budget is served but never cached —
+  // caching it would purge the memo for a guaranteed miss.
+  SchedulerOptions tiny;
+  tiny.memo_capacity_bytes = entry_bytes / 2;
+  BatchScheduler no_fit(session.get(), tiny);
+  req.seed = 1;
+  EXPECT_EQ(no_fit.Run(req).mode, ServeMode::kComputed);
+  EXPECT_EQ(no_fit.Run(req).mode, ServeMode::kComputed);
+  EXPECT_EQ(no_fit.stats().memo_bytes, 0u);
+
+  // 0 = unbounded bytes (the entry cap still rules).
+  SchedulerOptions unbounded;
+  unbounded.memo_capacity_bytes = 0;
+  BatchScheduler by_entries(session.get(), unbounded);
+  req.seed = 1;
+  EXPECT_EQ(by_entries.Run(req).mode, ServeMode::kComputed);
+  EXPECT_EQ(by_entries.Run(req).mode, ServeMode::kMemoized);
+}
+
+TEST(BatchSchedulerTest, FullQueueStillJoinsInFlightDuplicates) {
+  // Admission accounting regression: with the only slot busy and the
+  // queue at max_queue, (a) a distinct query is shed, (b) a duplicate of
+  // the *running* query still joins it — the header promises memo and
+  // dedup hits are never shed.
+  GraphFiles files(RandomConnectedGraph(120, 0.05, 21));
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  SchedulerOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 1;
+  BatchScheduler scheduler(session.get(), opts);
+
+  // The slot owner: a tight-epsilon whole-graph run with a deadline, so
+  // it holds the slot for a while but always terminates (degraded).
+  QueryRequest owner;
+  owner.id = "owner";
+  owner.estimator = EstimatorKind::kBcFull;
+  owner.epsilon = 0.005;
+  owner.deadline_ms = 2000;
+  std::thread owner_thread([&] { scheduler.Run(owner); });
+  while (scheduler.stats().computed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // One distinct query fills the queue...
+  QueryRequest queued = owner;
+  queued.id = "queued";
+  queued.seed = 2;
+  std::thread queued_thread([&] { scheduler.Run(queued); });
+  while (scheduler.stats().queued < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ...so the next distinct one is shed with RESOURCE_EXHAUSTED...
+  QueryRequest shed = owner;
+  shed.id = "shed";
+  shed.seed = 3;
+  const QueryResult shed_res = scheduler.Run(shed);
+  EXPECT_EQ(shed_res.status.code(), StatusCode::kResourceExhausted);
+
+  // ...but a duplicate of the in-flight owner joins it despite the full
+  // queue, sharing whatever bytes the owner produces.
+  QueryRequest dup = owner;
+  dup.id = "owner-dup";
+  const QueryResult dup_res = scheduler.Run(dup);
+  EXPECT_TRUE(dup_res.status.ok()) << dup_res.status.ToString();
+  EXPECT_EQ(dup_res.mode, ServeMode::kDeduped);
+
+  owner_thread.join();
+  queued_thread.join();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.dedup_hits, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(SessionPoolTest, RegisterResolveAndDefault) {
+  GraphFiles a(PaperFig2Graph());
+  GraphFiles b(RandomConnectedGraph(30, 0.15, 5), "graph_b.txt");
+
+  SessionPool pool(SessionPoolOptions{});
+  ASSERT_TRUE(pool.Register("a", a.sgr_path).ok());
+  ASSERT_TRUE(pool.Register("b", b.sgr_path).ok());
+  EXPECT_FALSE(pool.Register("a", b.sgr_path).ok());  // duplicate name
+  EXPECT_FALSE(pool.Register("", a.sgr_path).ok());
+  EXPECT_EQ(pool.default_name(), "a");
+  EXPECT_EQ(pool.registered_count(), 2u);
+  EXPECT_EQ(pool.resident_count(), 0u);  // lazy: nothing loaded yet
+
+  // "" routes to the default graph; unknown names are NOT_FOUND.
+  std::shared_ptr<QuerySession> session;
+  ASSERT_TRUE(pool.Acquire("", &session).ok());
+  std::shared_ptr<QuerySession> named;
+  ASSERT_TRUE(pool.Acquire("a", &named).ok());
+  EXPECT_EQ(session.get(), named.get());
+  EXPECT_EQ(pool.Acquire("nope", &named).code(), StatusCode::kNotFound);
+
+  // Two names for one resolved path share a single loaded session.
+  ASSERT_TRUE(pool.Register("a-alias", a.sgr_path).ok());
+  std::shared_ptr<QuerySession> aliased;
+  ASSERT_TRUE(pool.Acquire("a-alias", &aliased).ok());
+  EXPECT_EQ(aliased.get(), session.get());
+  for (const SessionPoolGraphStats& g : pool.stats()) {
+    if (g.name == "a" || g.name == "a-alias") {
+      EXPECT_EQ(g.loads, 1u) << g.name;
+      EXPECT_TRUE(g.resident) << g.name;
+    }
+  }
+}
+
+TEST(SessionPoolTest, FailedLoadReportsAndRetries) {
+  const std::string path = TempPath("late_graph.txt");
+  SessionPool pool(SessionPoolOptions{});
+  ASSERT_TRUE(pool.Register("late", path).ok());
+
+  // The file does not exist yet: the load fails with the graph name in
+  // the message, and the name is not bricked.
+  std::shared_ptr<QuerySession> session;
+  Status st = pool.Acquire("late", &session);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("late"), std::string::npos);
+
+  // Preload surfaces the same failure (fail-fast startup path).
+  EXPECT_FALSE(pool.Preload().ok());
+
+  // Once the file appears, the same name loads fine.
+  ASSERT_TRUE(SaveSnapEdgeList(PaperFig2Graph(), path).ok());
+  EXPECT_TRUE(pool.Acquire("late", &session).ok());
+  EXPECT_NE(session, nullptr);
+  std::remove(path.c_str());
+  std::remove(SgrCachePathFor(path).c_str());
+}
+
+TEST(BatchSchedulerTest, PoolRoutingAndCrossGraphMemoIsolation) {
+  GraphFiles a(PaperFig2Graph());
+  GraphFiles b(RandomConnectedGraph(30, 0.15, 5), "graph_b.txt");
+  SessionPool pool(SessionPoolOptions{});
+  ASSERT_TRUE(pool.Register("a", a.sgr_path).ok());
+  ASSERT_TRUE(pool.Register("b", b.sgr_path).ok());
+  BatchScheduler scheduler(&pool, SchedulerOptions());
+
+  // Identical statistical parameters on two different graphs: the second
+  // run must compute, never hit the first graph's memo entry.
+  QueryRequest req;
+  req.estimator = EstimatorKind::kCloseness;
+  req.targets = {0, 1, 2};
+  req.graph = "a";
+  QueryResult on_a = scheduler.Run(req);
+  ASSERT_TRUE(on_a.status.ok());
+  EXPECT_EQ(on_a.mode, ServeMode::kComputed);
+  EXPECT_EQ(on_a.graph, "a");
+  req.graph = "b";
+  QueryResult on_b = scheduler.Run(req);
+  ASSERT_TRUE(on_b.status.ok());
+  EXPECT_EQ(on_b.mode, ServeMode::kComputed);
+  EXPECT_EQ(on_b.graph, "b");
+  EXPECT_EQ(scheduler.stats().computed, 2u);
+  EXPECT_EQ(scheduler.stats().memo_hits, 0u);
+
+  // Same graph again: now it is a memo hit.
+  req.graph = "a";
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);
+
+  // Unknown names answer NOT_FOUND as an error result, not process death.
+  req.graph = "nope";
+  const QueryResult bad = scheduler.Run(req);
+  EXPECT_EQ(bad.status.code(), StatusCode::kNotFound);
+
+  // Target validation happens against the routed graph: node 50 exists in
+  // neither, but the error must name the right n.
+  req.graph = "b";
+  req.targets = {50};
+  const QueryResult oob = scheduler.Run(req);
+  EXPECT_FALSE(oob.status.ok());
+  EXPECT_NE(oob.status.message().find("n=30"), std::string::npos)
+      << oob.status.ToString();
+}
+
+TEST(BatchSchedulerTest, SingleSessionModeRejectsGraphNames) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  BatchScheduler scheduler(session.get(), SchedulerOptions());
+  QueryRequest req;
+  req.graph = "other";
+  req.targets = {0};
+  EXPECT_EQ(scheduler.Run(req).status.code(), StatusCode::kNotFound);
+  req.graph.clear();
+  EXPECT_TRUE(scheduler.Run(req).status.ok());
+}
+
 TEST(BatchSchedulerTest, BatchDedupsDuplicates) {
   GraphFiles files(PaperFig2Graph());
   std::unique_ptr<QuerySession> session;
@@ -440,6 +693,16 @@ TEST(SerializeQueryResultTest, Shapes) {
             "\"served\":\"memo\",\"samples\":77,\"seconds\":0.25,"
             "\"nodes\":[4,9],\"estimates\":[0.5," +
                 JsonNumber(1.0 / 3.0) + "]}");
+
+  // The graph name is echoed right after the id — but only when the
+  // request routed by name, so single-graph lines keep their old shape.
+  res.graph = "road";
+  EXPECT_EQ(SerializeQueryResult(res),
+            "{\"id\":\"q\\\"1\",\"graph\":\"road\",\"ok\":true,"
+            "\"estimator\":\"kpath\",\"served\":\"memo\",\"samples\":77,"
+            "\"seconds\":0.25,\"nodes\":[4,9],\"estimates\":[0.5," +
+                JsonNumber(1.0 / 3.0) + "]}");
+  res.graph.clear();
 
   QueryResult err;
   err.id = "bad";

@@ -125,6 +125,23 @@ else
       fail=1
     fi
   done
+  # The multi-graph tenancy flags are the same kind of contract: the pool
+  # knobs must stay parsed by saphyra_serve and explained in serving.md
+  # (docs/cli.md coverage already comes from check 4).
+  for flag in --max-graphs --preload --memo-capacity-bytes; do
+    if ! grep -qF -- "\"$flag\"" "$REPO_ROOT/tools/saphyra_serve.cc"; then
+      echo "check_docs: tools/saphyra_serve.cc no longer parses $flag" >&2
+      fail=1
+    fi
+    if ! grep -qF -- "$flag" "$serving_doc"; then
+      echo "check_docs: docs/serving.md no longer documents $flag" >&2
+      fail=1
+    fi
+  done
+  if ! grep -qF "Multi-graph tenancy" "$serving_doc"; then
+    echo "check_docs: docs/serving.md lost the 'Multi-graph tenancy' section" >&2
+    fail=1
+  fi
   for code in INVALID_ARGUMENT DEADLINE_EXCEEDED RESOURCE_EXHAUSTED \
               CANCELLED INTERNAL; do
     if ! grep -qF "\"$code\"" "$REPO_ROOT/src/util/status.cc"; then

@@ -22,6 +22,11 @@ BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-release}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
 
+# Host context next to the numbers: the hardware-bound ratios
+# (preprocess_parallel_* above all) are only interpretable against the
+# machine they ran on, which the JSON records as hardware_threads.
+echo "bench host: $(uname -srm), $(nproc) hardware threads" >&2
+
 "$BUILD_DIR/bench_micro_kernels" \
   --speedup_json=BENCH_micro.json \
   --benchmark_out="$BUILD_DIR/BENCH_micro_gbench.json" \

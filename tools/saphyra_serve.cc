@@ -1,20 +1,31 @@
-// saphyra_serve — multi-query serving front end.
+// saphyra_serve — multi-query, multi-graph serving front end.
 //
-// Loads a graph ONCE into a warm QuerySession (cache-aware: a fresh
-// `<graph>.sgr` is mmap'ed, preprocessing adopted), then answers a stream
-// of newline-delimited JSON query requests through the BatchScheduler:
+// Hosts one or more graphs in a fingerprint-keyed SessionPool: each
+// `--graph NAME=PATH` registration is loaded lazily into a warm
+// QuerySession on its first query (cache-aware: a fresh `<graph>.sgr` is
+// mmap'ed, preprocessing adopted), kept warm across queries, and
+// LRU-evicted once more than --max-graphs are resident — in-flight
+// queries pin their session, so eviction never interrupts them. Requests
+// pick their graph with a `"graph"` field ("" or absent = the first
+// registered graph); results are answered through the BatchScheduler:
 // concurrent admission, identical in-flight requests collapsed onto one
 // execution, completed results memoized in an LRU keyed by (graph
-// fingerprint, canonical query). Heterogeneous queries — bc, k-path,
-// closeness, ABRA, KADABRA, each with its own ε/δ/seed/strategy/top-k —
-// share the warm index and thread pool.
+// fingerprint, canonical query) — shared across graphs, partitioned by
+// the fingerprint. Heterogeneous queries — bc, k-path, closeness, ABRA,
+// KADABRA, each with its own ε/δ/seed/strategy/top-k — share the warm
+// index and thread pool.
 //
 // Usage:
-//   saphyra_serve --graph FILE [--format snap|dimacs|sgr|auto]
+//   saphyra_serve --graph [NAME=]FILE [--graph NAME=FILE ...]
+//                 [--format snap|dimacs|sgr|auto]
+//                 [--max-graphs G]       (resident sessions, default 4)
+//                 [--preload]            (load every graph at startup)
 //                 [--requests FILE]      (default: stdin; "-" = stdin)
 //                 [--concurrency N]      (default 1: serial admission)
 //                 [--threads T]          (default sampling threads, def. 1)
 //                 [--memo-capacity M]    (LRU entries, default 64; 0 = off)
+//                 [--memo-capacity-bytes B]  (LRU bytes, default 64 MiB;
+//                                             0 = unbounded)
 //                 [--repeat R]           (serve the request list R times)
 //                 [--default-deadline-ms D]  (deadline for requests without
 //                                             one; 0 = unbounded, default)
@@ -26,17 +37,18 @@
 // Request lines (see docs/serving.md for the full schema):
 //   {"id":"q1","estimator":"bc","epsilon":0.05,"delta":0.01,"seed":7,
 //    "targets":[1,2,3]}
-//   {"id":"q2","estimator":"kadabra","epsilon":0.1,"topk":10}
+//   {"id":"q2","graph":"road","estimator":"kadabra","epsilon":0.1,"topk":10}
 //
 // One JSON result line per request, in request order:
 //   {"id":"q1","ok":true,"estimator":"bc","served":"computed",
 //    "samples":512,"seconds":0.004,"nodes":[1,2,3],"estimates":[...]}
 //
 // Estimates are deterministic: for a fixed seed a query returns
-// bitwise-identical values whether it runs cold, warm, batched or from
-// the memo (`served` tells which). Diagnostics and the final
-// latency/throughput summary go to stderr; --stats-json additionally
-// writes the summary as one JSON object.
+// bitwise-identical values whether it runs cold, warm, batched, from the
+// memo, or against a reloaded-after-eviction graph (`served` tells
+// which). Diagnostics and the final latency/throughput summary go to
+// stderr; --stats-json additionally writes the summary — including a
+// per-graph "graphs" array — as one JSON object.
 //
 // --repeat R re-serves the whole request list R times — the easy way to
 // watch the memo work: the second pass serves every line with
@@ -59,11 +71,14 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "service/json_util.h"
 #include "service/query.h"
 #include "service/scheduler.h"
 #include "service/session.h"
+#include "service/session_pool.h"
 #include "util/cancel.h"
 #include "util/timer.h"
 
@@ -72,12 +87,17 @@ using namespace saphyra;
 namespace {
 
 struct Args {
-  std::string graph_path;
+  /// Registrations in order; first is the default graph. A bare PATH
+  /// registers under its own spelling as the name.
+  std::vector<std::pair<std::string, std::string>> graphs;
   std::string format = "auto";
+  size_t max_graphs = 4;
+  bool preload = false;
   std::string requests_path = "-";
   uint32_t concurrency = 1;
   uint32_t threads = 1;
   size_t memo_capacity = 64;
+  size_t memo_capacity_bytes = 64ull << 20;
   uint32_t repeat = 1;
   uint64_t default_deadline_ms = 0;
   size_t max_queue = 0;
@@ -130,11 +150,12 @@ void StartSignalWatcher(sigset_t set) {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --graph FILE [--format snap|dimacs|sgr|auto]\n"
+      "usage: %s --graph [NAME=]FILE [--graph NAME=FILE ...]\n"
+      "          [--format snap|dimacs|sgr|auto] [--max-graphs G] [--preload]\n"
       "          [--requests FILE] [--concurrency N] [--threads T]\n"
-      "          [--memo-capacity M] [--repeat R] [--no-cache]\n"
+      "          [--memo-capacity M] [--memo-capacity-bytes B] [--repeat R]\n"
       "          [--default-deadline-ms D] [--max-queue Q] [--drain-ms D]\n"
-      "          [--output FILE] [--stats-json FILE]\n",
+      "          [--no-cache] [--output FILE] [--stats-json FILE]\n",
       argv0);
 }
 
@@ -148,10 +169,22 @@ bool Parse(int argc, char** argv, Args* args) {
     const char* val = nullptr;
     if (key == "--no-cache") {
       args->no_cache = true;
+    } else if (key == "--preload") {
+      args->preload = true;
     } else if (key == "--graph" && (val = next())) {
-      args->graph_path = val;
+      // NAME=PATH, or a bare PATH registered under its own spelling (the
+      // single-graph invocation everyone already has in scripts).
+      const std::string spec = val;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        args->graphs.emplace_back(spec, spec);
+      } else {
+        args->graphs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      }
     } else if (key == "--format" && (val = next())) {
       args->format = val;
+    } else if (key == "--max-graphs" && (val = next())) {
+      args->max_graphs = std::strtoull(val, nullptr, 10);
     } else if (key == "--requests" && (val = next())) {
       args->requests_path = val;
     } else if (key == "--concurrency" && (val = next())) {
@@ -160,6 +193,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->threads = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
     } else if (key == "--memo-capacity" && (val = next())) {
       args->memo_capacity = std::strtoull(val, nullptr, 10);
+    } else if (key == "--memo-capacity-bytes" && (val = next())) {
+      args->memo_capacity_bytes = std::strtoull(val, nullptr, 10);
     } else if (key == "--repeat" && (val = next())) {
       args->repeat = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
     } else if (key == "--default-deadline-ms" && (val = next())) {
@@ -177,7 +212,7 @@ bool Parse(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->graph_path.empty()) {
+  if (args->graphs.empty()) {
     std::fprintf(stderr, "--graph is required\n");
     return false;
   }
@@ -207,26 +242,52 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &shutdown_set, nullptr);
   StartSignalWatcher(shutdown_set);
 
-  // --- the cold part: pay load (and, lazily, the index) once ------------
+  // --- register the graphs, load the default one now --------------------
+  // The default graph loads eagerly whatever --preload says: a typo'd
+  // path should be exit code 1 at startup, not an error line on the
+  // first query. The others stay cold until queried (or --preload).
+  SessionPoolOptions popts;
+  popts.session.load.format = args.format;
+  popts.session.load.use_cache = !args.no_cache;
+  popts.session.default_threads = std::max(1u, args.threads);
+  popts.max_graphs = args.max_graphs;
+  SessionPool pool(popts);
+  for (const auto& [name, path] : args.graphs) {
+    Status st = pool.Register(name, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad --graph registration: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+
   Timer timer;
-  SessionOptions sopts;
-  sopts.load.format = args.format;
-  sopts.load.use_cache = !args.no_cache;
-  sopts.default_threads = std::max(1u, args.threads);
-  std::unique_ptr<QuerySession> session;
-  Status st = QuerySession::Open(args.graph_path, sopts, &session);
-  if (!st.ok()) {
-    std::fprintf(stderr, "failed to open session: %s\n",
-                 st.ToString().c_str());
-    return 1;
+  {
+    std::shared_ptr<QuerySession> session;
+    Status st = args.preload ? pool.Preload() : pool.Acquire("", &session);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to open session: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (session == nullptr) {
+      st = pool.Acquire("", &session);  // preload path: re-pin the default
+      if (!st.ok()) {
+        std::fprintf(stderr, "failed to open session: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    const double load_seconds = timer.ElapsedSeconds();
+    std::fprintf(stderr,
+                 "session: %s in %s%s, fingerprint %016llx%s\n",
+                 session->graph().DebugString().c_str(),
+                 FormatDuration(load_seconds).c_str(),
+                 session->loaded_from_cache() ? " (.sgr cache)" : "",
+                 static_cast<unsigned long long>(session->fingerprint()),
+                 args.preload ? " (preloaded all)" : "");
   }
   const double load_seconds = timer.ElapsedSeconds();
-  std::fprintf(stderr,
-               "session: %s in %s%s, fingerprint %016llx\n",
-               session->graph().DebugString().c_str(),
-               FormatDuration(load_seconds).c_str(),
-               session->loaded_from_cache() ? " (.sgr cache)" : "",
-               static_cast<unsigned long long>(session->fingerprint()));
 
   // --- read the request list --------------------------------------------
   std::ifstream req_file;
@@ -272,9 +333,10 @@ int main(int argc, char** argv) {
   SchedulerOptions schopts;
   schopts.max_concurrent = args.concurrency;
   schopts.memo_capacity = args.memo_capacity;
+  schopts.memo_capacity_bytes = args.memo_capacity_bytes;
   schopts.max_queue = args.max_queue;
   schopts.server_cancel = &ServerToken();
-  BatchScheduler scheduler(session.get(), schopts);
+  BatchScheduler scheduler(&pool, schopts);
 
   std::ofstream file_out;
   std::ostream* out = &std::cout;
@@ -318,6 +380,7 @@ int main(int argc, char** argv) {
   out->flush();
   const double serve_seconds = timer.ElapsedSeconds();
   const SchedulerStats stats = scheduler.stats();
+  const std::vector<SessionPoolGraphStats> graph_stats = pool.stats();
   const double qps =
       serve_seconds > 0.0 ? static_cast<double>(answered) / serve_seconds : 0.0;
 
@@ -337,6 +400,17 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.cancelled),
                FormatDuration(max_query_seconds).c_str());
+  for (const SessionPoolGraphStats& g : graph_stats) {
+    std::fprintf(stderr,
+                 "graph %s: fingerprint %016llx, %s, %llu acquires, "
+                 "%llu loads, %llu evictions\n",
+                 g.name.c_str(),
+                 static_cast<unsigned long long>(g.fingerprint),
+                 g.resident ? "resident" : "cold",
+                 static_cast<unsigned long long>(g.acquires),
+                 static_cast<unsigned long long>(g.loads),
+                 static_cast<unsigned long long>(g.evictions));
+  }
 
   if (!args.stats_json.empty()) {
     std::ofstream sj(args.stats_json);
@@ -351,10 +425,26 @@ int main(int argc, char** argv) {
        << ",\"degraded\":" << stats.degraded
        << ",\"shed\":" << stats.shed
        << ",\"cancelled\":" << stats.cancelled
+       << ",\"memo_bytes\":" << stats.memo_bytes
        << ",\"drained\":" << (g_shutdown.load() ? "true" : "false")
        << ",\"load_seconds\":" << load_seconds
        << ",\"serve_seconds\":" << serve_seconds
-       << ",\"queries_per_second\":" << qps << "}\n";
+       << ",\"queries_per_second\":" << qps
+       << ",\"graphs\":[";
+    char fp[32];
+    for (size_t i = 0; i < graph_stats.size(); ++i) {
+      const SessionPoolGraphStats& g = graph_stats[i];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(g.fingerprint));
+      if (i != 0) sj << ',';
+      sj << "{\"name\":" << JsonQuote(g.name)
+         << ",\"fingerprint\":\"" << fp << '"'
+         << ",\"resident\":" << (g.resident ? "true" : "false")
+         << ",\"acquires\":" << g.acquires
+         << ",\"loads\":" << g.loads
+         << ",\"evictions\":" << g.evictions << '}';
+    }
+    sj << "]}\n";
   }
   return any_error ? 3 : 0;
 }
