@@ -1,0 +1,198 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/failpoint.h"
+
+namespace saphyra {
+namespace net {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + strerror(errno);
+}
+
+/// Remaining poll() timeout for `deadline` in ms: -1 = wait forever,
+/// 0 = already expired (poll still samples readiness once).
+int PollTimeoutMs(Deadline deadline) {
+  if (deadline.unbounded()) return -1;
+  const int64_t left_ns = deadline.steady_nanos() - Deadline::NowNanos();
+  if (left_ns <= 0) return 0;
+  const int64_t ms = left_ns / 1000000 + 1;  // round up: never spin-poll
+  return static_cast<int>(std::min<int64_t>(ms, INT32_MAX));
+}
+
+Status FillSockaddrUn(const Endpoint& ep, sockaddr_un* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or longer than " +
+                                   std::to_string(sizeof(addr->sun_path) - 1) +
+                                   " bytes: \"" + ep.path + "\"");
+  }
+  memcpy(addr->sun_path, ep.path.data(), ep.path.size());
+  return Status::OK();
+}
+
+Status FillSockaddrIn(const Endpoint& ep, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("tcp host must be a numeric IPv4 address "
+                                   "(got \"" + ep.host + "\")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = close(fd_);
+    } while (rc != 0 && errno == EINTR);
+  }
+  fd_ = -1;
+}
+
+Status ParseEndpoint(const std::string& spec, Endpoint* out) {
+  if (spec.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->path = spec.substr(5);
+    if (out->path.empty()) {
+      return Status::InvalidArgument("unix endpoint has an empty path: \"" +
+                                     spec + "\"");
+    }
+    return Status::OK();
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      return Status::InvalidArgument("tcp endpoint must be tcp:host:port "
+                                     "(got \"" + spec + "\")");
+    }
+    out->is_unix = false;
+    out->host = rest.substr(0, colon);
+    char* end = nullptr;
+    const unsigned long port = strtoul(rest.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+      return Status::InvalidArgument("tcp port out of range in \"" + spec +
+                                     "\"");
+    }
+    out->port = static_cast<uint16_t>(port);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "endpoint must start with unix: or tcp: (got \"" + spec + "\")");
+}
+
+std::string EndpointToString(const Endpoint& ep) {
+  if (ep.is_unix) return "unix:" + ep.path;
+  return "tcp:" + ep.host + ":" + std::to_string(ep.port);
+}
+
+Status Listen(const Endpoint& ep, UniqueFd* out) {
+  UniqueFd fd(socket(ep.is_unix ? AF_UNIX : AF_INET,
+                     SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  int bind_rc;
+  if (ep.is_unix) {
+    sockaddr_un addr;
+    SAPHYRA_RETURN_NOT_OK(FillSockaddrUn(ep, &addr));
+    unlink(ep.path.c_str());  // stale rendezvous file from a crashed run
+    bind_rc = bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    sockaddr_in addr;
+    SAPHYRA_RETURN_NOT_OK(FillSockaddrIn(ep, &addr));
+    const int one = 1;
+    setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    bind_rc = bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (bind_rc != 0) {
+    return Status::IOError(Errno("bind " + EndpointToString(ep)));
+  }
+  if (listen(fd.get(), 16) != 0) {
+    return Status::IOError(Errno("listen " + EndpointToString(ep)));
+  }
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status Connect(const Endpoint& ep, UniqueFd* out) {
+  SAPHYRA_RETURN_NOT_OK(fail::FaultStatus("net.connect"));
+  UniqueFd fd(socket(ep.is_unix ? AF_UNIX : AF_INET,
+                     SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  int rc;
+  if (ep.is_unix) {
+    sockaddr_un addr;
+    SAPHYRA_RETURN_NOT_OK(FillSockaddrUn(ep, &addr));
+    do {
+      rc = connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    sockaddr_in addr;
+    SAPHYRA_RETURN_NOT_OK(FillSockaddrIn(ep, &addr));
+    do {
+      rc = connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc != 0) {
+    return Status::IOError(Errno("connect " + EndpointToString(ep)));
+  }
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status Accept(int listen_fd, Deadline deadline, UniqueFd* out) {
+  for (;;) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int timeout = PollTimeoutMs(deadline);
+    const int ready = poll(&pfd, 1, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("poll(accept)"));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("accept timed out");
+    }
+    const int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IOError(Errno("accept"));
+    }
+    *out = UniqueFd(fd);
+    return Status::OK();
+  }
+}
+
+Status SocketPair(UniqueFd* a, UniqueFd* b) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return Status::IOError(Errno("socketpair"));
+  }
+  *a = UniqueFd(fds[0]);
+  *b = UniqueFd(fds[1]);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace saphyra

@@ -1,0 +1,87 @@
+#ifndef SAPHYRA_NET_SOCKET_H_
+#define SAPHYRA_NET_SOCKET_H_
+
+/// \file
+/// Minimal socket plumbing for the sharded serving tier: endpoint parsing
+/// ("unix:/path" or "tcp:host:port"), RAII file descriptors, and
+/// deadline-aware accept. Everything returns Status — a dead peer is an
+/// expected event the supervisor handles, never an exception.
+///
+/// Failure injection: `Connect` honors the `net.connect` failpoint site
+/// (util/failpoint.h), so supervisor restart paths are testable without a
+/// flaky peer.
+
+#include <cstdint>
+#include <string>
+
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace saphyra {
+namespace net {
+
+/// \brief Move-only RAII wrapper over a POSIX file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close the held descriptor (if any) and go invalid.
+  void Reset();
+  /// Give up ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A parsed listen/connect address.
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;  ///< unix: filesystem socket path
+  std::string host;  ///< tcp: numeric or resolvable host
+  uint16_t port = 0;
+};
+
+/// \brief Parse "unix:/path/to.sock" or "tcp:host:port" into an Endpoint.
+Status ParseEndpoint(const std::string& spec, Endpoint* out);
+
+/// \brief Render an Endpoint back to its "unix:..."/"tcp:..." spelling.
+std::string EndpointToString(const Endpoint& ep);
+
+/// \brief Bind + listen on `ep`. A pre-existing unix socket file at the
+/// path is unlinked first (the coordinator owns its rendezvous path).
+Status Listen(const Endpoint& ep, UniqueFd* out);
+
+/// \brief Connect to `ep` (blocking; worker startup path). Honors the
+/// `net.connect` failpoint.
+Status Connect(const Endpoint& ep, UniqueFd* out);
+
+/// \brief Accept one connection, waiting at most until `deadline`.
+Status Accept(int listen_fd, Deadline deadline, UniqueFd* out);
+
+/// \brief A connected AF_UNIX socket pair (in-process worker tests).
+Status SocketPair(UniqueFd* a, UniqueFd* b);
+
+}  // namespace net
+}  // namespace saphyra
+
+#endif  // SAPHYRA_NET_SOCKET_H_

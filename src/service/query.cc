@@ -40,6 +40,21 @@ const char* ServeModeName(ServeMode mode) {
   return "computed";
 }
 
+namespace {
+
+/// Wire spelling of QueryResult::degrade_reason. Falls back to "deadline"
+/// for any code outside the documented trio so a future reason can never
+/// render an unparseable line.
+const char* DegradeReasonName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kUnavailable: return "shard_lost";
+    default: return "deadline";
+  }
+}
+
+}  // namespace
+
 Status CanonicalizeQuery(NodeId num_nodes, QueryRequest* req) {
   if (!(req->epsilon > 0.0) || req->epsilon > 1.0) {
     return Status::InvalidArgument("epsilon must be in (0, 1]");
@@ -208,6 +223,36 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
   return Status::OK();
 }
 
+std::string SerializeQueryRequest(const QueryRequest& req) {
+  // Statistical parameters are emitted unconditionally so two canonical
+  // requests serialize to equal strings exactly when their cache keys are
+  // equal; id/graph are routing-only and appear only when set. Execution
+  // parameters (threads, traversal) are deliberately absent: a worker
+  // replaying stripes picks its own, and the determinism contract makes
+  // them inert anyway.
+  std::string out = "{";
+  if (!req.id.empty()) out += "\"id\":" + JsonQuote(req.id) + ",";
+  if (!req.graph.empty()) out += "\"graph\":" + JsonQuote(req.graph) + ",";
+  out += "\"estimator\":\"";
+  out += EstimatorKindName(req.estimator);
+  out += "\",\"epsilon\":" + JsonNumber(req.epsilon);
+  out += ",\"delta\":" + JsonNumber(req.delta);
+  out += ",\"seed\":" + std::to_string(req.seed);
+  out += ",\"topk\":" + std::to_string(req.top_k);
+  out += ",\"k\":" + std::to_string(req.k);
+  out += ",\"strategy\":\"";
+  out += req.strategy == SamplingStrategy::kUnidirectional ? "unidirectional"
+                                                           : "bidirectional";
+  out += "\",\"deadline_ms\":" + std::to_string(req.deadline_ms);
+  out += ",\"targets\":[";
+  for (size_t i = 0; i < req.targets.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(req.targets[i]);
+  }
+  out += "]}";
+  return out;
+}
+
 std::string SerializeQueryResult(const QueryResult& res) {
   std::string out = "{\"id\":" + JsonQuote(res.id);
   // Emitted only when routed by name, so single-graph servers (and their
@@ -228,7 +273,9 @@ std::string SerializeQueryResult(const QueryResult& res) {
   if (res.degraded) {
     // epsilon_achieved is infinite when the deadline hit before a variance
     // estimate existed; JSON has no Infinity, so that spells null.
-    out += ",\"degraded\":true,\"epsilon_achieved\":";
+    out += ",\"degraded\":true,\"degrade_reason\":\"";
+    out += DegradeReasonName(res.degrade_reason);
+    out += "\",\"epsilon_achieved\":";
     out += std::isfinite(res.epsilon_achieved)
                ? JsonNumber(res.epsilon_achieved)
                : "null";

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "service/shard.h"
 #include "util/failpoint.h"
 
 namespace saphyra {
@@ -215,7 +216,21 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     // the estimator (e.g. bad_alloc) that left it pending would wedge
     // every future request with this key in the dedup wait.
     try {
-      res = session->RunCanonical(canonical, &token);
+      if (options_.supervisor != nullptr) {
+        // The worker keys its engine state by (graph, statistical query):
+        // id and graph are routing fields, not statistical parameters, so
+        // they are stripped from the wire encoding — two clients asking
+        // the same question share one replayable state.
+        QueryRequest wire = canonical;
+        wire.id.clear();
+        wire.graph.clear();
+        ShardedQuery shard(options_.supervisor, canonical.graph,
+                           session->fingerprint(), SerializeQueryRequest(wire),
+                           &token);
+        res = session->RunCanonical(canonical, &token, &shard);
+      } else {
+        res = session->RunCanonical(canonical, &token);
+      }
     } catch (const std::exception& e) {
       res.status = Status::Internal(std::string("query execution failed: ") +
                                     e.what());

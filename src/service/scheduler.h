@@ -51,6 +51,8 @@
 
 namespace saphyra {
 
+class WorkerSupervisor;
+
 struct SchedulerOptions {
   /// Estimator executions running concurrently (1 = serial execution);
   /// also the RunBatch driver count. Enforced inside Run(), so direct
@@ -78,6 +80,12 @@ struct SchedulerOptions {
   /// running ones finalize degraded at their next wave; TightenDeadline()
   /// implements a drain window. Borrowed; must outlive the scheduler.
   const CancelToken* server_cancel = nullptr;
+  /// Non-null: delegate every sample wave to this sharded worker tier
+  /// (service/shard.h) instead of drawing locally. Results are bitwise
+  /// identical either way (determinism contract), so the memo and dedup
+  /// machinery are oblivious to the switch. Borrowed; must outlive the
+  /// scheduler.
+  WorkerSupervisor* supervisor = nullptr;
 };
 
 struct SchedulerStats {

@@ -8,6 +8,7 @@
 #include "closeness/closeness.h"
 #include "core/saphyra.h"
 #include "kpath/kpath.h"
+#include "service/shard.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
 
@@ -90,19 +91,32 @@ QueryResult QuerySession::Run(const QueryRequest& request) {
 }
 
 QueryResult QuerySession::RunCanonical(const QueryRequest& req,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       ShardedQuery* shard) {
   QueryResult res;
   res.id = req.id;
   res.estimator = req.estimator;
   const uint32_t threads =
       req.num_threads != 0 ? req.num_threads : options_.default_threads;
 
+  // Non-null shard: delegate every sample wave to the worker tier. The
+  // lambda outlives each estimator call below but not this frame, and the
+  // executors it hands out live on `shard`, so borrowing is safe.
+  std::function<WaveExecutor*(uint32_t)> wave_executor;
+  if (shard != nullptr) {
+    wave_executor = [shard](uint32_t ordinal) {
+      return shard->ExecutorFor(ordinal);
+    };
+  }
+
   // Degraded estimator outcomes surface as results, not errors: the
   // completed-wave estimates are still deterministic, so the client gets
   // them plus the achieved bound and decides whether they are usable.
-  auto mark_degraded = [&res](bool degraded, double eps_achieved) {
+  auto mark_degraded = [&res](bool degraded, StatusCode reason,
+                              double eps_achieved) {
     if (!degraded) return;
     res.degraded = true;
+    res.degrade_reason = reason;
     res.epsilon_achieved = eps_achieved;
   };
 
@@ -119,15 +133,16 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.traversal = req.traversal;
       opts.num_threads = threads;
       opts.cancel = cancel;
+      opts.wave_executor = wave_executor;
       if (req.estimator == EstimatorKind::kBcFull) {
         SaphyraBcResult r = RunSaphyraBcFull(isp(), opts);
         res.samples_used = r.samples_used;
-        mark_degraded(r.degraded, r.epsilon_achieved);
+        mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
         ReportSubset(r.bc, req.targets, &res);
       } else {
         SaphyraBcResult r = RunSaphyraBc(isp(), req.targets, opts);
         res.samples_used = r.samples_used;
-        mark_degraded(r.degraded, r.epsilon_achieved);
+        mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
         res.nodes = req.targets;
         res.estimates = std::move(r.bc);
       }
@@ -146,10 +161,11 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.cancel = cancel;
       std::vector<NodeId> targets =
           req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
+      opts.wave_executor = wave_executor;
       KPathProblem problem(graph_, targets, req.k);
       SaphyraResult r = RunSaphyra(&problem, opts);
       res.samples_used = r.samples_used;
-      mark_degraded(r.degraded, r.epsilon_achieved);
+      mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
       res.nodes = std::move(targets);
       res.estimates = std::move(r.combined_risks);
       break;
@@ -164,13 +180,15 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.cancel = cancel;
       std::vector<NodeId> targets =
           req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
+      opts.wave_executor = wave_executor;
       HarmonicClosenessProblem problem(graph_, targets);
       problem.set_traversal(req.traversal);
       SaphyraResult r = RunSaphyra(&problem, opts);
       res.samples_used = r.samples_used;
       // RiskToCentrality is linear (×n/(n−1)), so the achieved risk bound
       // converts to centrality units through the same map.
-      mark_degraded(r.degraded, problem.RiskToCentrality(r.epsilon_achieved));
+      mark_degraded(r.degraded, r.degrade_reason,
+                    problem.RiskToCentrality(r.epsilon_achieved));
       res.nodes = std::move(targets);
       res.estimates.resize(r.combined_risks.size());
       for (size_t i = 0; i < res.estimates.size(); ++i) {
@@ -186,9 +204,10 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.top_k = req.top_k;
       opts.num_threads = threads;
       opts.cancel = cancel;
+      opts.wave_executor = wave_executor;
       AbraResult r = RunAbra(graph_, opts);
       res.samples_used = r.samples_used;
-      mark_degraded(r.degraded, r.epsilon_achieved);
+      mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
       ReportSubset(r.bc, req.targets, &res);
       break;
     }
@@ -202,9 +221,10 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.traversal = req.traversal;
       opts.num_threads = threads;
       opts.cancel = cancel;
+      opts.wave_executor = wave_executor;
       KadabraResult r = RunKadabra(graph_, opts);
       res.samples_used = r.samples_used;
-      mark_degraded(r.degraded, r.epsilon_achieved);
+      mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
       ReportSubset(r.bc, req.targets, &res);
       break;
     }

@@ -37,6 +37,8 @@
 
 namespace saphyra {
 
+class ShardedQuery;
+
 /// \brief Session-wide settings (per-query knobs live on QueryRequest).
 struct SessionOptions {
   /// Graph loading (format, cache substitution, mmap) — LoadGraphAuto.
@@ -94,8 +96,13 @@ class QuerySession {
   /// here, instead of paying a second copy + sort/dedup pass per query —
   /// and owns the cancel token (deadline measured from admission, chained
   /// to the server-wide shutdown token). `cancel` may be null; borrowed
-  /// for the duration of the call.
-  QueryResult RunCanonical(const QueryRequest& req, const CancelToken* cancel);
+  /// for the duration of the call. `shard` non-null routes every sample
+  /// wave to the sharded worker tier (service/shard.h) instead of drawing
+  /// locally; results are bitwise identical either way, and a shard that
+  /// stays lost past the retry budget degrades the result
+  /// (degrade_reason = kUnavailable) rather than erroring.
+  QueryResult RunCanonical(const QueryRequest& req, const CancelToken* cancel,
+                           ShardedQuery* shard = nullptr);
 
   SessionOptions options_;
   Graph graph_;

@@ -1,0 +1,583 @@
+#include "service/shard.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "net/frame.h"
+#include "service/json_util.h"
+#include "util/logging.h"
+
+namespace saphyra {
+
+namespace {
+
+/// The RPC deadline of one worker exchange: the query's effective
+/// deadline, capped by the per-RPC timeout that distinguishes a hung
+/// worker from a merely long query.
+Deadline RpcDeadline(const CancelToken* cancel, uint64_t rpc_timeout_ms) {
+  Deadline rpc = Deadline::AfterMillis(rpc_timeout_ms);
+  if (cancel != nullptr) {
+    const Deadline query = cancel->EffectiveDeadline();
+    if (query.steady_nanos() < rpc.steady_nanos()) return query;
+  }
+  return rpc;
+}
+
+/// Milliseconds from now until `d` (0 when unbounded — the worker treats
+/// budget_ms 0 as "no deadline").
+uint64_t BudgetMillis(Deadline d) {
+  if (d.unbounded()) return 0;
+  const int64_t ns = d.steady_nanos() - Deadline::NowNanos();
+  if (ns <= 0) return 1;  // expired: let the worker report it immediately
+  return static_cast<uint64_t>(ns / 1000000) + 1;
+}
+
+/// True when a non-OK RPC status is the *query's* doing (deadline or
+/// cancellation), which must propagate as-is instead of burning retry
+/// budget on a healthy pool.
+bool IsQueryLevel(const Status& st, const CancelToken* cancel) {
+  if (st.code() == StatusCode::kCancelled) return true;
+  if (st.code() != StatusCode::kDeadlineExceeded) return false;
+  if (cancel == nullptr) return false;  // only the RPC timeout can expire
+  const Deadline query = cancel->EffectiveDeadline();
+  return !query.unbounded() && query.expired();
+}
+
+Status ParseUintArray(const JsonValue& v, const char* what,
+                      std::vector<uint64_t>* out) {
+  if (v.type != JsonValue::Type::kArray) {
+    return Status::Internal(std::string("worker delta: ") + what +
+                            " is not an array");
+  }
+  out->clear();
+  out->reserve(v.array.size());
+  for (const JsonValue& e : v.array) {
+    if (e.type != JsonValue::Type::kNumber || !e.is_uint) {
+      return Status::Internal(std::string("worker delta: ") + what +
+                              " entry is not a non-negative integer");
+    }
+    out->push_back(e.uint_value);
+  }
+  return Status::OK();
+}
+
+void AppendUintArray(const std::vector<uint64_t>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    *out += std::to_string(values[i]);
+  }
+  out->push_back(']');
+}
+
+Status MergeDelta(const RawSampleDelta& part, RawSampleDelta* sum) {
+  if (sum->counts.empty() && sum->fp_sums.empty()) {
+    *sum = part;
+    return Status::OK();
+  }
+  if (part.counts.size() != sum->counts.size() ||
+      part.fp_sums.size() != sum->fp_sums.size() ||
+      part.fp_sum_squares.size() != sum->fp_sum_squares.size()) {
+    return Status::Internal("worker deltas disagree on hypothesis count");
+  }
+  for (size_t i = 0; i < part.counts.size(); ++i) {
+    sum->counts[i] += part.counts[i];
+  }
+  for (size_t i = 0; i < part.fp_sums.size(); ++i) {
+    sum->fp_sums[i] += part.fp_sums[i];
+  }
+  for (size_t i = 0; i < part.fp_sum_squares.size(); ++i) {
+    sum->fp_sum_squares[i] += part.fp_sum_squares[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerSupervisor
+
+WorkerSupervisor::WorkerSupervisor(WorkerLauncher* launcher,
+                                   const ShardOptions& options)
+    : launcher_(launcher),
+      options_(options),
+      backoff_rng_(0x5eedu) {
+  SAPHYRA_CHECK(options_.num_workers >= 1);
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+WorkerSupervisor::~WorkerSupervisor() { Shutdown(); }
+
+Status WorkerSupervisor::Start() {
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    Worker* w = workers_[i].get();
+    std::lock_guard<std::mutex> lock(w->mu);
+    SAPHYRA_RETURN_NOT_OK(EnsureAliveLocked(i, w, /*first_launch=*/true));
+  }
+  if (options_.heartbeat_ms > 0) {
+    heartbeat_ = std::thread([this] { HeartbeatLoop(); });
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void WorkerSupervisor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    std::lock_guard<std::mutex> lock(w->mu);
+    if (w->alive && w->conn.valid()) {
+      // Best-effort clean quit; a worker that ignores it is reaped by the
+      // launcher anyway.
+      net::SendFrame(w->conn.get(), "{\"type\":\"quit\"}",
+                     Deadline::AfterMillis(200));
+    }
+    w->conn.Reset();
+    w->alive = false;
+    w->alive_gauge.store(false, std::memory_order_relaxed);
+  }
+}
+
+void WorkerSupervisor::MarkDeadLocked(Worker* w) {
+  w->conn.Reset();
+  w->alive = false;
+  w->alive_gauge.store(false, std::memory_order_relaxed);
+  ++w->consecutive_failures;
+  // Exponential backoff with deterministic ±25% jitter, so a crash-looping
+  // worker binary cannot hot-spin the supervisor while every retry round
+  // still lands at a slightly different phase.
+  uint64_t base = options_.backoff_initial_ms;
+  for (uint32_t i = 1; i < w->consecutive_failures && base < options_.backoff_max_ms;
+       ++i) {
+    base *= 2;
+  }
+  base = std::min(base, options_.backoff_max_ms);
+  uint64_t jittered = base;
+  {
+    std::lock_guard<std::mutex> lock(backoff_mu_);
+    const uint64_t span = std::max<uint64_t>(1, base / 2);  // ±25%
+    jittered = base - base / 4 + backoff_rng_.UniformInt(span);
+  }
+  w->restart_after_ns =
+      Deadline::NowNanos() + static_cast<int64_t>(jittered) * 1000000;
+}
+
+Status WorkerSupervisor::EnsureAliveLocked(uint32_t index, Worker* w,
+                                           bool first_launch) {
+  if (w->alive) return Status::OK();
+  if (!first_launch && Deadline::NowNanos() < w->restart_after_ns) {
+    return Status::Unavailable("worker " + std::to_string(index) +
+                               " is backing off");
+  }
+  net::UniqueFd conn;
+  Status st = launcher_->Launch(index, &conn);
+  if (!st.ok()) {
+    MarkDeadLocked(w);
+    return st;
+  }
+  w->conn = std::move(conn);
+  w->alive = true;
+  w->alive_gauge.store(true, std::memory_order_relaxed);
+  w->consecutive_failures = 0;
+  if (!first_launch) w->restarts.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WorkerSupervisor::WaveRpc(uint32_t index, const WaveSpec& spec,
+                                 const std::vector<uint32_t>& stripes,
+                                 RawSampleDelta* delta, bool* worker_fault) {
+  *worker_fault = true;  // transport errors default to "the worker's fault"
+  Worker* w = workers_[index].get();
+  std::lock_guard<std::mutex> lock(w->mu);
+  Status st = EnsureAliveLocked(index, w, /*first_launch=*/false);
+  if (!st.ok()) return st;
+
+  const Deadline deadline = RpcDeadline(spec.cancel, options_.rpc_timeout_ms);
+  std::string msg = "{\"type\":\"wave\",\"graph\":" + JsonQuote(spec.graph) +
+                    ",\"fingerprint\":" + std::to_string(spec.fingerprint) +
+                    ",\"ordinal\":" + std::to_string(spec.ordinal) +
+                    ",\"num_stripes\":" + std::to_string(spec.num_stripes) +
+                    ",\"from\":" + std::to_string(spec.from) +
+                    ",\"to\":" + std::to_string(spec.to) +
+                    ",\"budget_ms\":" + std::to_string(BudgetMillis(deadline)) +
+                    ",\"stripes\":";
+  std::vector<uint64_t> wide(stripes.begin(), stripes.end());
+  AppendUintArray(wide, &msg);
+  msg += ",\"query\":" + JsonQuote(spec.query_json) + "}";
+
+  st = net::SendFrame(w->conn.get(), msg, deadline);
+  std::string reply;
+  if (st.ok()) st = net::RecvFrame(w->conn.get(), &reply, deadline);
+  if (!st.ok()) {
+    if (IsQueryLevel(st, spec.cancel)) {
+      // The query ran out of time mid-RPC; the worker may well be fine.
+      // Drop the connection anyway — its next frame would be the stale
+      // wave reply, which no one is going to read.
+      *worker_fault = false;
+      MarkDeadLocked(w);
+      w->consecutive_failures = 0;  // not the worker's fault
+      StatusCode why = spec.cancel != nullptr ? spec.cancel->Poll()
+                                              : StatusCode::kDeadlineExceeded;
+      if (why == StatusCode::kOk) why = StatusCode::kDeadlineExceeded;
+      return CancelToken::ToStatus(why, "shard wave RPC");
+    }
+    MarkDeadLocked(w);
+    return st;
+  }
+
+  JsonValue doc;
+  st = ParseJson(reply, &doc);
+  const JsonValue* ok = st.ok() ? doc.Find("ok") : nullptr;
+  if (!st.ok() || ok == nullptr || ok->type != JsonValue::Type::kBool) {
+    MarkDeadLocked(w);
+    return Status::Internal("worker " + std::to_string(index) +
+                            " sent a malformed wave reply");
+  }
+  if (!ok->bool_value) {
+    const JsonValue* code = doc.Find("code");
+    const JsonValue* error = doc.Find("error");
+    const std::string code_s =
+        code != nullptr && code->type == JsonValue::Type::kString
+            ? code->string_value
+            : "INTERNAL";
+    const std::string error_s =
+        error != nullptr && error->type == JsonValue::Type::kString
+            ? error->string_value
+            : "worker error";
+    if (code_s == "DEADLINE_EXCEEDED" || code_s == "CANCELLED") {
+      // The worker hit the query's budget while drawing — query-level,
+      // and the worker is healthy (it answered).
+      *worker_fault = false;
+      return code_s == "CANCELLED" ? Status::Cancelled(error_s)
+                                   : Status::DeadlineExceeded(error_s);
+    }
+    // A deterministic worker-side failure (bad graph, fingerprint
+    // mismatch, malformed query) would fail identically everywhere:
+    // retrying it on a survivor would burn the budget for nothing.
+    *worker_fault = false;
+    return Status::Internal("worker " + std::to_string(index) + ": " +
+                            error_s);
+  }
+
+  const JsonValue* counts = doc.Find("counts");
+  if (counts == nullptr) {
+    MarkDeadLocked(w);
+    return Status::Internal("worker delta is missing counts");
+  }
+  st = ParseUintArray(*counts, "counts", &delta->counts);
+  if (st.ok()) {
+    const JsonValue* fp_sums = doc.Find("fp_sums");
+    const JsonValue* fp_sq = doc.Find("fp_sum_squares");
+    delta->fp_sums.clear();
+    delta->fp_sum_squares.clear();
+    if (fp_sums != nullptr) {
+      st = ParseUintArray(*fp_sums, "fp_sums", &delta->fp_sums);
+    }
+    if (st.ok() && fp_sq != nullptr) {
+      st = ParseUintArray(*fp_sq, "fp_sum_squares", &delta->fp_sum_squares);
+    }
+  }
+  if (!st.ok()) {
+    MarkDeadLocked(w);
+    return st;
+  }
+  w->consecutive_failures = 0;
+  w->waves.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WorkerSupervisor::ExecuteWave(const WaveSpec& spec,
+                                     RawSampleDelta* out) {
+  out->counts.clear();
+  out->fp_sums.clear();
+  out->fp_sum_squares.clear();
+  SAPHYRA_CHECK(spec.to > spec.from);
+  SAPHYRA_CHECK(spec.num_stripes >= 1);
+
+  // Stripes with a non-zero quota in [from, to). Stripe deltas are pure
+  // functions of (query, stripe, range), so WHERE each one runs is
+  // irrelevant to the merged bits — the whole point of this tier.
+  std::vector<uint32_t> remaining;
+  for (uint32_t s = 0; s < spec.num_stripes; ++s) {
+    if (StripeSamplesBelow(spec.to, s, spec.num_stripes) >
+        StripeSamplesBelow(spec.from, s, spec.num_stripes)) {
+      remaining.push_back(s);
+    }
+  }
+  // Stripes that were part of a failed RPC; landing on any worker now
+  // counts as a reassignment.
+  std::vector<bool> failed_once(spec.num_stripes, false);
+
+  uint32_t failed_rounds = 0;
+  Status last_fault = Status::OK();
+  while (!remaining.empty()) {
+    if (spec.cancel != nullptr) {
+      const StatusCode why = spec.cancel->Poll();
+      if (why != StatusCode::kOk) {
+        return CancelToken::ToStatus(why, "shard wave");
+      }
+    }
+
+    // Round-robin the remaining stripes over every worker index; workers
+    // that turn out dead (and unrestartable) fail their slice into the
+    // next round.
+    const uint32_t n = options_.num_workers;
+    std::vector<std::vector<uint32_t>> assigned(n);
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      assigned[i % n].push_back(remaining[i]);
+    }
+
+    std::vector<uint32_t> next_remaining;
+    bool any_fault = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (assigned[i].empty()) continue;
+      uint64_t inherited = 0;
+      for (uint32_t s : assigned[i]) {
+        if (failed_once[s]) ++inherited;
+      }
+      RawSampleDelta part;
+      bool worker_fault = false;
+      Status st = WaveRpc(i, spec, assigned[i], &part, &worker_fault);
+      if (st.ok()) {
+        SAPHYRA_RETURN_NOT_OK(MergeDelta(part, out));
+        if (inherited > 0) {
+          workers_[i]->stripes_reassigned.fetch_add(
+              inherited, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (!worker_fault) return st;  // query-level or deterministic error
+      any_fault = true;
+      last_fault = st;
+      workers_[i]->retries.fetch_add(1, std::memory_order_relaxed);
+      for (uint32_t s : assigned[i]) {
+        failed_once[s] = true;
+        next_remaining.push_back(s);
+      }
+    }
+    remaining = std::move(next_remaining);
+    if (remaining.empty()) break;
+    SAPHYRA_CHECK(any_fault);
+    if (++failed_rounds > options_.retry_budget) {
+      return Status::Unavailable(
+          "shard_lost: wave [" + std::to_string(spec.from) + ", " +
+          std::to_string(spec.to) + ") failed " +
+          std::to_string(failed_rounds) + " rounds (retry budget " +
+          std::to_string(options_.retry_budget) + "): " +
+          last_fault.ToString());
+    }
+    // Give restart backoffs a moment to elapse before the next round, but
+    // never past the query's own deadline.
+    int64_t sleep_until = Deadline::NowNanos() + 2 * 1000000;
+    for (auto& worker : workers_) {
+      // Unlocked peek at the backoff gate: a stale read only mistimes the
+      // retry round, it cannot corrupt anything.
+      sleep_until = std::max(sleep_until, worker->restart_after_ns);
+    }
+    const Deadline query = spec.cancel != nullptr
+                               ? spec.cancel->EffectiveDeadline()
+                               : Deadline::Never();
+    if (!query.unbounded()) {
+      sleep_until = std::min(sleep_until, query.steady_nanos());
+    }
+    sleep_until = std::min(
+        sleep_until,
+        Deadline::NowNanos() +
+            static_cast<int64_t>(options_.backoff_max_ms) * 1000000);
+    const int64_t delta_ns = sleep_until - Deadline::NowNanos();
+    if (delta_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delta_ns));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ShardWorkerStats> WorkerSupervisor::stats() const {
+  std::vector<ShardWorkerStats> out;
+  out.reserve(workers_.size());
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    const Worker* w = workers_[i].get();
+    ShardWorkerStats s;
+    s.index = i;
+    s.alive = w->alive_gauge.load(std::memory_order_relaxed);
+    s.waves = w->waves.load(std::memory_order_relaxed);
+    s.restarts = w->restarts.load(std::memory_order_relaxed);
+    s.retries = w->retries.load(std::memory_order_relaxed);
+    s.stripes_reassigned =
+        w->stripes_reassigned.load(std::memory_order_relaxed);
+    s.heartbeat_misses = w->heartbeat_misses.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void WorkerSupervisor::HeartbeatLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(lock, std::chrono::milliseconds(options_.heartbeat_ms),
+                      [this] { return shutting_down_; });
+      if (shutting_down_) return;
+    }
+    for (auto& worker : workers_) {
+      Worker* w = worker.get();
+      // A worker busy with an RPC is demonstrating liveness (or will be
+      // caught by that RPC's own timeout); never queue behind it.
+      std::unique_lock<std::mutex> lock(w->mu, std::try_to_lock);
+      if (!lock.owns_lock() || !w->alive) continue;
+      const Deadline deadline = Deadline::AfterMillis(options_.heartbeat_ms);
+      Status st = net::SendFrame(w->conn.get(), "{\"type\":\"ping\"}",
+                                 deadline);
+      std::string reply;
+      if (st.ok()) st = net::RecvFrame(w->conn.get(), &reply, deadline);
+      if (!st.ok()) {
+        w->heartbeat_misses.fetch_add(1, std::memory_order_relaxed);
+        MarkDeadLocked(w);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProcessWorkerLauncher
+
+ProcessWorkerLauncher::ProcessWorkerLauncher(Options options)
+    : options_(std::move(options)) {}
+
+ProcessWorkerLauncher::~ProcessWorkerLauncher() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [index, pid] : pids_) {
+    (void)index;
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+  }
+  pids_.clear();
+}
+
+void ProcessWorkerLauncher::KillLocked(uint32_t index) {
+  auto it = pids_.find(index);
+  if (it != pids_.end()) {
+    ::kill(it->second, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(it->second, &wstatus, 0);
+    pids_.erase(it);
+  }
+  // A stale hello from the dead incarnation must not satisfy the next
+  // Launch of this index.
+  pending_.erase(index);
+}
+
+Status ProcessWorkerLauncher::Launch(uint32_t index, net::UniqueFd* conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KillLocked(index);
+
+  std::vector<std::string> args;
+  args.push_back(options_.worker_binary);
+  args.push_back("--connect");
+  args.push_back(net::EndpointToString(options_.endpoint));
+  args.push_back("--index");
+  args.push_back(std::to_string(index));
+  for (const std::string& g : options_.graph_args) {
+    args.push_back("--graph");
+    args.push_back(g);
+  }
+  for (const std::string& a : options_.extra_args) args.push_back(a);
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return Status::Internal("fork failed");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; the parent sees the dropped rendezvous
+  }
+  pids_[index] = pid;
+
+  // Wait for THIS index's hello. Connections from other slow spawns can
+  // arrive first; park them for the Launch that wants them.
+  const Deadline deadline = Deadline::AfterMillis(options_.launch_timeout_ms);
+  for (;;) {
+    auto it = pending_.find(index);
+    if (it != pending_.end()) {
+      *conn = std::move(it->second);
+      pending_.erase(it);
+      return Status::OK();
+    }
+    net::UniqueFd accepted;
+    Status st = net::Accept(options_.listen_fd, deadline, &accepted);
+    std::string hello;
+    if (st.ok()) {
+      st = net::RecvFrame(accepted.get(), &hello, deadline);
+    }
+    if (!st.ok()) {
+      KillLocked(index);
+      return Status::Unavailable("worker " + std::to_string(index) +
+                                 " failed to rendezvous: " + st.ToString());
+    }
+    JsonValue doc;
+    st = ParseJson(hello, &doc);
+    const JsonValue* idx = st.ok() ? doc.Find("index") : nullptr;
+    if (idx == nullptr || idx->type != JsonValue::Type::kNumber ||
+        !idx->is_uint) {
+      // Not a worker hello; drop the connection and keep waiting.
+      continue;
+    }
+    pending_[static_cast<uint32_t>(idx->uint_value)] = std::move(accepted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedQuery
+
+ShardedQuery::ShardedQuery(WorkerSupervisor* supervisor, std::string graph,
+                           uint64_t fingerprint, std::string query_json,
+                           const CancelToken* cancel)
+    : supervisor_(supervisor),
+      graph_(std::move(graph)),
+      fingerprint_(fingerprint),
+      query_json_(std::move(query_json)),
+      cancel_(cancel) {}
+
+WaveExecutor* ShardedQuery::ExecutorFor(uint32_t ordinal) {
+  if (engines_.size() <= ordinal) engines_.resize(ordinal + 1);
+  if (engines_[ordinal] == nullptr) {
+    engines_[ordinal] = std::make_unique<Engine>(this, ordinal);
+  }
+  return engines_[ordinal].get();
+}
+
+Status ShardedQuery::Engine::ExecuteWave(uint64_t current, uint64_t target,
+                                         size_t num_stripes,
+                                         RawSampleDelta* out) {
+  WaveSpec spec;
+  spec.graph = query_->graph_;
+  spec.fingerprint = query_->fingerprint_;
+  spec.query_json = query_->query_json_;
+  spec.ordinal = ordinal_;
+  spec.num_stripes = num_stripes;
+  spec.from = current;
+  spec.to = target;
+  spec.cancel = query_->cancel_;
+  return query_->supervisor_->ExecuteWave(spec, out);
+}
+
+}  // namespace saphyra

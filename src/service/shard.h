@@ -1,0 +1,274 @@
+#ifndef SAPHYRA_SERVICE_SHARD_H_
+#define SAPHYRA_SERVICE_SHARD_H_
+
+/// \file
+/// The sharded serving tier's coordinator half: a supervised pool of
+/// `saphyra_worker` processes that sample waves execute on, plus the
+/// per-query WaveExecutor adapters that plug it into the estimator
+/// frontends.
+///
+/// Why sharding is bitwise-safe. The sample engine stripes draws over a
+/// fixed number of logical RNG streams and accumulates in integers
+/// (core/sample_engine.h), so a wave's raw delta is the element-wise sum
+/// of per-stripe deltas — and each stripe's delta is a pure function of
+/// (query, stripe, [from, to)). The supervisor therefore partitions a
+/// wave's stripes over worker processes, sums whatever comes back, and
+/// the merged wave is bitwise identical to a local draw at ANY shard
+/// count and under ANY reassignment of stripes between workers. Killing
+/// a worker mid-wave and replaying its stripes elsewhere cannot change a
+/// single result bit; tests/shard_test.cc pins exactly that.
+///
+/// Failure model (docs/serving.md, "Sharded serving" failure matrix):
+///   - crash (connection drops, send/recv fails): mark the worker dead,
+///     reassign its stripes to survivors, restart it lazily under
+///     exponential backoff with jitter;
+///   - hang/slow (RPC exceeds `rpc_timeout_ms` while the query deadline
+///     still has room): same as a crash — the stuck incarnation is
+///     killed on its next launch;
+///   - lost past the budget (`retry_budget` failed rounds, or no worker
+///     restartable): the wave fails with UNAVAILABLE, which the
+///     progressive sampler surfaces as a degraded result
+///     (degrade_reason = shard_lost) — never an error, never memoized.
+/// A worker-reported DEADLINE_EXCEEDED/CANCELLED is the *query's*
+/// deadline, not a worker fault: it propagates as-is and consumes no
+/// retry budget.
+///
+/// Ownership/threading: one WorkerSupervisor per server, shared by every
+/// concurrent query; a per-worker mutex serializes RPCs on each
+/// connection (a wave execution holds at most one worker lock at a time,
+/// so concurrent queries interleave without deadlock). ShardedQuery /
+/// its executors are per-query, single-driver objects.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sample_engine.h"
+#include "net/socket.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace saphyra {
+
+/// \brief Supervision knobs of the worker pool.
+struct ShardOptions {
+  /// Worker processes (shards). Stripes of every wave are partitioned
+  /// round-robin over the live subset.
+  uint32_t num_workers = 2;
+  /// Failed *rounds* a wave tolerates before giving up with UNAVAILABLE:
+  /// a round is one pass that reassigns the failed stripes over the
+  /// workers then available. 0 = any worker fault degrades the query.
+  uint32_t retry_budget = 2;
+  /// Idle-worker health-check period (0 disables the heartbeat thread).
+  /// A missed heartbeat marks the worker dead so the next wave restarts
+  /// it instead of discovering the corpse mid-RPC.
+  uint64_t heartbeat_ms = 1000;
+  /// Per-RPC ceiling distinguishing a hung worker from a slow query: the
+  /// effective RPC deadline is min(query deadline, now + this).
+  uint64_t rpc_timeout_ms = 10000;
+  /// Restart backoff: doubles per consecutive failure from `initial` up
+  /// to `max`, with deterministic ±25% jitter.
+  uint64_t backoff_initial_ms = 10;
+  uint64_t backoff_max_ms = 1000;
+};
+
+/// \brief How worker incarnations come to life. The supervisor calls
+/// Launch under the worker's lock whenever it needs incarnation N+1 of a
+/// worker index; the launcher must tear down incarnation N itself (kill
+/// the process / join the thread) before producing the new connection.
+class WorkerLauncher {
+ public:
+  virtual ~WorkerLauncher() = default;
+  virtual Status Launch(uint32_t index, net::UniqueFd* conn) = 0;
+};
+
+/// \brief Per-worker gauges, snapshot via WorkerSupervisor::stats() and
+/// surfaced in saphyra_serve's --stats-json / stderr summary.
+struct ShardWorkerStats {
+  uint32_t index = 0;
+  bool alive = false;
+  uint64_t waves = 0;               ///< wave RPCs answered successfully
+  uint64_t restarts = 0;            ///< incarnations launched after the first
+  uint64_t retries = 0;             ///< RPCs that failed and were retried
+  uint64_t stripes_reassigned = 0;  ///< stripes inherited from a failed peer
+  uint64_t heartbeat_misses = 0;    ///< failed idle health checks
+};
+
+/// \brief One delegated wave: draw samples [from, to) of the query's
+/// ordinal-th progressive run, striped over `num_stripes` streams.
+struct WaveSpec {
+  std::string graph;       ///< pool name routing the query ("" = default)
+  uint64_t fingerprint = 0;  ///< content fingerprint the worker must match
+  std::string query_json;  ///< canonical statistical query (state key)
+  uint32_t ordinal = 0;    ///< 0 = pilot run, 1 = main run
+  size_t num_stripes = 0;
+  uint64_t from = 0;
+  uint64_t to = 0;
+  /// The query's cancel token: its effective deadline caps every RPC and
+  /// is polled between retry rounds. May be null (unbounded query).
+  const CancelToken* cancel = nullptr;
+};
+
+/// \brief The supervised worker pool: launches workers, partitions wave
+/// stripes over the live ones, merges their integer deltas, and turns
+/// worker faults into retries, restarts, and — past the budget — one
+/// UNAVAILABLE wave failure.
+class WorkerSupervisor {
+ public:
+  /// `launcher` is borrowed and must outlive the supervisor.
+  WorkerSupervisor(WorkerLauncher* launcher, const ShardOptions& options);
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// \brief Launch every worker and start the heartbeat thread. Fails if
+  /// any initial launch fails (a server that cannot assemble its pool
+  /// should say so at startup, not on the first query).
+  Status Start();
+
+  /// \brief Quit the workers and stop the heartbeat thread. Idempotent;
+  /// the destructor calls it.
+  void Shutdown();
+
+  /// \brief Execute one wave: partition its stripes, farm them out,
+  /// merge the deltas into *out. On worker faults, retries with
+  /// reassignment/restarts up to the budget; returns UNAVAILABLE when
+  /// the budget is exhausted, or the query's own DEADLINE_EXCEEDED /
+  /// CANCELLED when that fires first. Thread-safe.
+  Status ExecuteWave(const WaveSpec& spec, RawSampleDelta* out);
+
+  uint32_t num_workers() const { return options_.num_workers; }
+  std::vector<ShardWorkerStats> stats() const;
+
+ private:
+  struct Worker {
+    /// Serializes RPCs on this worker's connection; a wave execution
+    /// holds at most one worker's lock at a time.
+    std::mutex mu;
+    net::UniqueFd conn;
+    bool alive = false;
+    uint32_t consecutive_failures = 0;
+    /// Steady-clock gate for the next restart attempt (backoff).
+    int64_t restart_after_ns = 0;
+
+    // Gauges are atomics so stats() never blocks behind an RPC in flight.
+    std::atomic<bool> alive_gauge{false};
+    std::atomic<uint64_t> waves{0};
+    std::atomic<uint64_t> restarts{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> stripes_reassigned{0};
+    std::atomic<uint64_t> heartbeat_misses{0};
+  };
+
+  /// Restart `w` if dead and its backoff window has passed. Caller holds
+  /// w->mu. `first_launch` suppresses the restart counter during Start().
+  Status EnsureAliveLocked(uint32_t index, Worker* w, bool first_launch);
+  /// Drop the connection and arm the restart backoff. Caller holds w->mu.
+  void MarkDeadLocked(Worker* w);
+  /// One wave RPC against worker `index` for the given stripes. Returns
+  /// the worker's delta in *delta. A non-OK status is either the query's
+  /// deadline/cancellation (`*worker_fault` = false) or a worker fault
+  /// the caller should retry elsewhere (`*worker_fault` = true).
+  Status WaveRpc(uint32_t index, const WaveSpec& spec,
+                 const std::vector<uint32_t>& stripes, RawSampleDelta* delta,
+                 bool* worker_fault);
+  void HeartbeatLoop();
+
+  WorkerLauncher* launcher_;
+  ShardOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex backoff_mu_;
+  Rng backoff_rng_;  ///< fixed-seed jitter source (guarded by backoff_mu_)
+
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool shutting_down_ = false;
+  std::thread heartbeat_;
+  bool started_ = false;
+};
+
+/// \brief Production launcher: fork+exec `saphyra_worker` processes that
+/// connect back over the rendezvous endpoint. A relaunch SIGKILLs and
+/// reaps the previous incarnation first, so a hung worker cannot leak.
+class ProcessWorkerLauncher : public WorkerLauncher {
+ public:
+  struct Options {
+    /// Path to the saphyra_worker binary.
+    std::string worker_binary;
+    /// Rendezvous endpoint the workers connect back to; the caller has
+    /// already bound it (`listen_fd` is borrowed, not owned).
+    net::Endpoint endpoint;
+    int listen_fd = -1;
+    /// Graph registrations forwarded verbatim ("NAME=PATH", first is the
+    /// default), mirroring the server's own pool.
+    std::vector<std::string> graph_args;
+    /// Extra worker flags (e.g. "--no-cache").
+    std::vector<std::string> extra_args;
+    uint64_t launch_timeout_ms = 10000;
+  };
+
+  explicit ProcessWorkerLauncher(Options options);
+  ~ProcessWorkerLauncher() override;
+
+  Status Launch(uint32_t index, net::UniqueFd* conn) override;
+
+ private:
+  /// SIGKILL + reap index's incarnation, if any. Caller holds mu_.
+  void KillLocked(uint32_t index);
+
+  Options options_;
+  std::mutex mu_;
+  std::map<uint32_t, int> pids_;
+  /// Connections that said hello for an index another Launch is not
+  /// waiting on yet (two slow spawns can arrive out of order).
+  std::map<uint32_t, net::UniqueFd> pending_;
+};
+
+/// \brief Per-query adapter handing the estimator frontends their
+/// WaveExecutors (ordinal 0 = pilot run, 1 = main run), each of which
+/// routes waves to the shared supervisor with this query's canonical
+/// JSON, graph routing and cancel token attached. Single-driver: lives
+/// on the query's scheduler thread for the duration of RunCanonical.
+class ShardedQuery {
+ public:
+  ShardedQuery(WorkerSupervisor* supervisor, std::string graph,
+               uint64_t fingerprint, std::string query_json,
+               const CancelToken* cancel);
+
+  /// \brief The executor of the query's ordinal-th progressive run
+  /// (created on first use; owned by this object).
+  WaveExecutor* ExecutorFor(uint32_t ordinal);
+
+ private:
+  class Engine : public WaveExecutor {
+   public:
+    Engine(ShardedQuery* query, uint32_t ordinal)
+        : query_(query), ordinal_(ordinal) {}
+    Status ExecuteWave(uint64_t current, uint64_t target, size_t num_stripes,
+                       RawSampleDelta* out) override;
+
+   private:
+    ShardedQuery* query_;
+    uint32_t ordinal_;
+  };
+
+  WorkerSupervisor* supervisor_;
+  std::string graph_;
+  uint64_t fingerprint_;
+  std::string query_json_;
+  const CancelToken* cancel_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace saphyra
+
+#endif  // SAPHYRA_SERVICE_SHARD_H_

@@ -1,0 +1,367 @@
+#include "service/shard_worker.h"
+
+#include <unistd.h>
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/abra.h"
+#include "baselines/kadabra.h"
+#include "bc/saphyra_bc.h"
+#include "closeness/closeness.h"
+#include "core/sample_engine.h"
+#include "kpath/kpath.h"
+#include "net/frame.h"
+#include "service/json_util.h"
+#include "service/query.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace saphyra {
+
+namespace {
+
+/// Replies never block the loop forever behind a wedged coordinator.
+constexpr uint64_t kReplyTimeoutMs = 30000;
+
+std::vector<NodeId> AllNodes(NodeId n) {
+  std::vector<NodeId> all(n);
+  for (NodeId v = 0; v < n; ++v) all[v] = v;
+  return all;
+}
+
+bool IsSaphyraFrontend(EstimatorKind kind) {
+  // These route through RunSaphyra's pilot + main structure (two RNG
+  // streams, ordinals 0 and 1); ABRA/KADABRA run one progressive loop on
+  // the base stream (ordinal 0 only). Must mirror core/saphyra.cc and
+  // the baselines exactly — this is the replay contract.
+  return kind == EstimatorKind::kBc || kind == EstimatorKind::kBcFull ||
+         kind == EstimatorKind::kKPath || kind == EstimatorKind::kCloseness;
+}
+
+/// One ordinal's engine plus how far each stripe's stream has been
+/// consumed since the engine was built.
+struct OrdinalState {
+  std::unique_ptr<SampleEngine> engine;
+  std::vector<uint64_t> pos;
+  size_t num_stripes = 0;
+};
+
+/// Cached per-(graph, canonical query) sampling state.
+struct QueryState {
+  std::shared_ptr<QuerySession> session;  ///< pins the graph
+  QueryRequest req;                       ///< canonical
+  std::unique_ptr<HypothesisRankingProblem> problem;
+  OrdinalState ordinals[2];
+};
+
+/// Build (or rebuild) `ordinal`'s engine from the query seed, deriving
+/// the base RNG stream exactly as the frontend does. The engine consumes
+/// the base stream only at construction, so the locals here suffice.
+Status BuildOrdinal(QueryState* state, uint32_t ordinal, size_t num_stripes) {
+  OrdinalState* ord = &state->ordinals[ordinal];
+  ord->engine.reset();
+  Rng rng(state->req.seed);
+  if (IsSaphyraFrontend(state->req.estimator)) {
+    Rng pilot_rng = rng.Split();
+    Rng* base = ordinal == 0 ? &pilot_rng : &rng;
+    ord->engine = std::make_unique<SampleEngine>(
+        state->problem.get(), static_cast<uint32_t>(num_stripes), base,
+        /*pool=*/nullptr);
+  } else {
+    if (ordinal != 0) {
+      return Status::InvalidArgument(
+          "estimator has a single progressive run; ordinal must be 0");
+    }
+    ord->engine = std::make_unique<SampleEngine>(
+        state->problem.get(), static_cast<uint32_t>(num_stripes), &rng,
+        /*pool=*/nullptr);
+  }
+  if (ord->engine->num_workers() != num_stripes) {
+    const size_t got = ord->engine->num_workers();
+    ord->engine.reset();
+    return Status::Internal("engine materialized " + std::to_string(got) +
+                            " stripes, coordinator expects " +
+                            std::to_string(num_stripes));
+  }
+  ord->pos.assign(num_stripes, 0);
+  ord->num_stripes = num_stripes;
+  return Status::OK();
+}
+
+Status BuildQueryState(SessionPool* pool, const std::string& graph,
+                       uint64_t fingerprint, const std::string& query_json,
+                       std::unique_ptr<QueryState>* out) {
+  auto state = std::make_unique<QueryState>();
+  SAPHYRA_RETURN_NOT_OK(pool->Acquire(graph, &state->session));
+  if (state->session->fingerprint() != fingerprint) {
+    return Status::FailedPrecondition(
+        "graph fingerprint mismatch: worker serves " +
+        std::to_string(state->session->fingerprint()) +
+        ", coordinator expects " + std::to_string(fingerprint));
+  }
+  SAPHYRA_RETURN_NOT_OK(ParseQueryRequest(query_json, &state->req));
+  SAPHYRA_RETURN_NOT_OK(CanonicalizeQuery(
+      state->session->graph().num_nodes(), &state->req));
+
+  const Graph& g = state->session->graph();
+  const QueryRequest& req = state->req;
+  switch (req.estimator) {
+    case EstimatorKind::kBc:
+    case EstimatorKind::kBcFull: {
+      SaphyraBcOptions opts;
+      opts.seed = req.seed;
+      opts.strategy = req.strategy;
+      const std::vector<NodeId> targets =
+          req.estimator == EstimatorKind::kBcFull ? AllNodes(g.num_nodes())
+                                                  : req.targets;
+      state->problem = MakeSaphyraBcSamplingProblem(state->session->isp(),
+                                                    targets, opts);
+      break;
+    }
+    case EstimatorKind::kKPath: {
+      std::vector<NodeId> targets =
+          req.targets.empty() ? AllNodes(g.num_nodes()) : req.targets;
+      state->problem = std::make_unique<KPathProblem>(g, std::move(targets),
+                                                      req.k);
+      break;
+    }
+    case EstimatorKind::kCloseness: {
+      std::vector<NodeId> targets =
+          req.targets.empty() ? AllNodes(g.num_nodes()) : req.targets;
+      state->problem = std::make_unique<HarmonicClosenessProblem>(
+          g, std::move(targets));
+      break;
+    }
+    case EstimatorKind::kAbra:
+      state->problem = MakeAbraSamplingProblem(g);
+      break;
+    case EstimatorKind::kKadabra:
+      state->problem = MakeKadabraSamplingProblem(g, req.strategy,
+                                                  req.traversal);
+      break;
+  }
+  *out = std::move(state);
+  return Status::OK();
+}
+
+/// The worker's engine-state cache: list in LRU order (front = hottest)
+/// with an index by (graph, query) key.
+class StateCache {
+ public:
+  explicit StateCache(size_t capacity) : capacity_(capacity) {}
+
+  Status GetOrCreate(SessionPool* pool, const std::string& graph,
+                     uint64_t fingerprint, const std::string& query_json,
+                     QueryState** out) {
+    const std::string key = graph + '\0' + query_json;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      *out = it->second->second.get();
+      return Status::OK();
+    }
+    std::unique_ptr<QueryState> state;
+    SAPHYRA_RETURN_NOT_OK(
+        BuildQueryState(pool, graph, fingerprint, query_json, &state));
+    lru_.emplace_front(key, std::move(state));
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+    *out = lru_.front().second.get();
+    return Status::OK();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, std::unique_ptr<QueryState>>> lru_;
+  std::map<std::string,
+           std::list<std::pair<std::string,
+                               std::unique_ptr<QueryState>>>::iterator>
+      index_;
+};
+
+Status GetUintField(const JsonValue& doc, const char* key, uint64_t* out) {
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber || !v->is_uint) {
+    return Status::InvalidArgument(std::string("wave message: ") + key +
+                                   " must be a non-negative integer");
+  }
+  *out = v->uint_value;
+  return Status::OK();
+}
+
+void AppendUintArray(const std::vector<uint64_t>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    *out += std::to_string(values[i]);
+  }
+  out->push_back(']');
+}
+
+/// Execute one wave request; on success *reply is the ok frame, on error
+/// the caller turns the status into an error frame.
+Status HandleWave(const JsonValue& doc, SessionPool* pool, StateCache* cache,
+                  std::string* reply) {
+  const JsonValue* graph_v = doc.Find("graph");
+  const JsonValue* query_v = doc.Find("query");
+  const JsonValue* stripes_v = doc.Find("stripes");
+  if (graph_v == nullptr || graph_v->type != JsonValue::Type::kString ||
+      query_v == nullptr || query_v->type != JsonValue::Type::kString ||
+      stripes_v == nullptr || stripes_v->type != JsonValue::Type::kArray) {
+    return Status::InvalidArgument("wave message is malformed");
+  }
+  uint64_t fingerprint = 0, ordinal = 0, num_stripes = 0, from = 0, to = 0,
+           budget_ms = 0;
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "fingerprint", &fingerprint));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "ordinal", &ordinal));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "num_stripes", &num_stripes));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "from", &from));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "to", &to));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "budget_ms", &budget_ms));
+  if (ordinal >= 2 || num_stripes == 0 || to <= from) {
+    return Status::InvalidArgument("wave message parameters out of range");
+  }
+  std::vector<uint32_t> stripes;
+  stripes.reserve(stripes_v->array.size());
+  for (const JsonValue& e : stripes_v->array) {
+    if (e.type != JsonValue::Type::kNumber || !e.is_uint ||
+        e.uint_value >= num_stripes) {
+      return Status::InvalidArgument("wave stripe index out of range");
+    }
+    stripes.push_back(static_cast<uint32_t>(e.uint_value));
+  }
+
+  QueryState* state = nullptr;
+  SAPHYRA_RETURN_NOT_OK(cache->GetOrCreate(pool, graph_v->string_value,
+                                           fingerprint, query_v->string_value,
+                                           &state));
+  OrdinalState* ord = &state->ordinals[ordinal];
+  bool rebuild = ord->engine == nullptr || ord->num_stripes != num_stripes;
+  if (!rebuild) {
+    for (uint32_t s : stripes) {
+      // The coordinator retried a range this incarnation half-drew (or a
+      // memo-missed re-run restarted the query): streams only run
+      // forward, so start this ordinal over from the seed.
+      if (ord->pos[s] > StripeSamplesBelow(from, s, num_stripes)) {
+        rebuild = true;
+        break;
+      }
+    }
+  }
+  if (rebuild) {
+    SAPHYRA_RETURN_NOT_OK(BuildOrdinal(state, static_cast<uint32_t>(ordinal),
+                                       num_stripes));
+    ord = &state->ordinals[ordinal];
+  }
+
+  const Deadline deadline =
+      budget_ms == 0 ? Deadline::Never() : Deadline::AfterMillis(budget_ms);
+  for (uint32_t s : stripes) {
+    if (deadline.expired()) {
+      // Keep the state consistent: stripes already drawn this wave have
+      // consumed RNG, so zero their pending locals and let pos[] stand —
+      // the coordinator's retry of this range triggers a rebuild.
+      RawSampleDelta discard;
+      ord->engine->HarvestDelta(&discard);
+      return Status::DeadlineExceeded("wave budget exhausted after " +
+                                      std::to_string(from) + " replay");
+    }
+    const uint64_t below_from = StripeSamplesBelow(from, s, num_stripes);
+    const uint64_t below_to = StripeSamplesBelow(to, s, num_stripes);
+    if (ord->pos[s] < below_from) {
+      // Another process drew [pos, below_from) of this stripe; replay it
+      // with identical RNG consumption, discarding the losses.
+      ord->engine->AdvanceStripe(s, below_from - ord->pos[s]);
+      ord->pos[s] = below_from;
+    }
+    ord->engine->DrawStripe(s, below_to - below_from);
+    ord->pos[s] = below_to;
+  }
+  RawSampleDelta delta;
+  ord->engine->HarvestDelta(&delta);
+
+  *reply = "{\"ok\":true,\"counts\":";
+  AppendUintArray(delta.counts, reply);
+  if (!delta.fp_sums.empty()) {
+    *reply += ",\"fp_sums\":";
+    AppendUintArray(delta.fp_sums, reply);
+    *reply += ",\"fp_sum_squares\":";
+    AppendUintArray(delta.fp_sum_squares, reply);
+  }
+  reply->push_back('}');
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunWorkerLoop(int fd, SessionPool* pool,
+                     const WorkerLoopOptions& options) {
+  StateCache cache(options.max_states);
+  const std::string hello =
+      "{\"type\":\"hello\",\"index\":" + std::to_string(options.index) +
+      ",\"pid\":" + std::to_string(::getpid()) + "}";
+  SAPHYRA_RETURN_NOT_OK(
+      net::SendFrame(fd, hello, Deadline::AfterMillis(kReplyTimeoutMs)));
+
+  for (;;) {
+    std::string msg;
+    Status st = net::RecvFrame(fd, &msg, Deadline::Never());
+    if (!st.ok()) {
+      // The coordinator vanished (or restarted us); that is this
+      // process's normal end of life, not an error.
+      return Status::OK();
+    }
+    JsonValue doc;
+    st = ParseJson(msg, &doc);
+    const JsonValue* type = st.ok() ? doc.Find("type") : nullptr;
+    const std::string kind =
+        type != nullptr && type->type == JsonValue::Type::kString
+            ? type->string_value
+            : "";
+    std::string reply;
+    if (kind == "ping") {
+      reply = "{\"ok\":true,\"type\":\"pong\"}";
+    } else if (kind == "quit") {
+      net::SendFrame(fd, "{\"ok\":true,\"type\":\"bye\"}",
+                     Deadline::AfterMillis(kReplyTimeoutMs));
+      return Status::OK();
+    } else if (kind == "wave") {
+      // An injected `throw` here simulates a mid-wave crash: no reply,
+      // the loop exits, the connection drops, and the supervisor's
+      // recovery machinery takes over.
+      try {
+        fail::MaybeFault("worker.wave");
+      } catch (const fail::InjectedFault& fault) {
+        return Status::Internal(fault.what());
+      }
+      Status wave = Status::OK();
+      try {
+        wave = HandleWave(doc, pool, &cache, &reply);
+      } catch (const std::exception& e) {
+        wave = Status::Internal(std::string("wave execution threw: ") +
+                                e.what());
+      }
+      if (!wave.ok()) {
+        reply = "{\"ok\":false,\"code\":\"";
+        reply += StatusCodeWireName(wave.code());
+        reply += "\",\"error\":" + JsonQuote(wave.ToString()) + "}";
+      }
+    } else {
+      reply =
+          "{\"ok\":false,\"code\":\"INVALID_ARGUMENT\",\"error\":\"unknown "
+          "message type\"}";
+    }
+    SAPHYRA_RETURN_NOT_OK(
+        net::SendFrame(fd, reply, Deadline::AfterMillis(kReplyTimeoutMs)));
+  }
+}
+
+}  // namespace saphyra

@@ -99,6 +99,12 @@ class CancelToken {
   /// make Check() non-OK — i.e. the run should poll at a fine granularity.
   bool CanExpire() const;
 
+  /// Earliest armed deadline along the parent chain (`Never()` when no
+  /// deadline is armed anywhere). The sharded serving tier stamps each
+  /// worker RPC with this, so a per-query latency budget propagates across
+  /// the process boundary instead of stopping at the coordinator.
+  Deadline EffectiveDeadline() const;
+
   /// Non-counting read of the current state.
   StatusCode Check() const;
 

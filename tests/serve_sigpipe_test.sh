@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regression: a client that closes the output pipe mid-stream (`| head`)
+# must not kill saphyra_serve with SIGPIPE. The server detects the closed
+# pipe on a per-line flush, drains the remaining passes without output,
+# exits 0, and records "output_closed":true in --stats-json.
+#
+# Usage: serve_sigpipe_test.sh /path/to/saphyra_serve
+set -u
+
+SERVE="${1:?usage: serve_sigpipe_test.sh /path/to/saphyra_serve}"
+TMP="$(mktemp -d /tmp/saphyra_sigpipe.XXXXXX)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  echo "--- stderr ---" >&2
+  cat "$TMP/stderr.log" >&2 || true
+  exit 1
+}
+
+# A ring over 24 nodes: tiny, connected, fast to query.
+for i in $(seq 0 23); do
+  echo "$i $(( (i + 1) % 24 ))"
+done > "$TMP/ring.txt"
+
+for i in $(seq 1 5); do
+  echo "{\"id\":\"q$i\",\"estimator\":\"bc\",\"epsilon\":0.3,\"seed\":$i,\"targets\":[0,1,2]}"
+done > "$TMP/requests.ndjson"
+
+# 5 queries x 500 passes = 2500 response lines, far past the pipe buffer:
+# head exits after 2 lines, so the server is guaranteed to hit the closed
+# pipe mid-stream. Memoization makes the drained passes near-free.
+"$SERVE" --graph "$TMP/ring.txt" --no-cache \
+         --requests "$TMP/requests.ndjson" --repeat 500 \
+         --stats-json "$TMP/stats.json" 2> "$TMP/stderr.log" \
+  | head -n 2 > "$TMP/head.out"
+status=${PIPESTATUS[0]}
+
+[ "$status" -eq 0 ] || fail "server exited $status (expected 0)"
+[ "$(wc -l < "$TMP/head.out")" -eq 2 ] || fail "client did not get its 2 lines"
+grep -q "output closed" "$TMP/stderr.log" \
+  || fail "stderr does not report the closed output"
+grep -q '"output_closed":true' "$TMP/stats.json" \
+  || fail "stats json does not record output_closed"
+grep -q '"queries":2500' "$TMP/stats.json" \
+  || fail "server did not drain all 2500 queries"
+
+echo "PASS: closed pipe drained cleanly"

@@ -723,8 +723,15 @@ TEST(SerializeQueryResultTest, Shapes) {
   EXPECT_EQ(SerializeQueryResult(deg),
             "{\"id\":\"slow\",\"ok\":true,\"estimator\":\"bc-full\","
             "\"served\":\"computed\",\"samples\":128,\"seconds\":0.05,"
-            "\"degraded\":true,\"epsilon_achieved\":0.125,"
+            "\"degraded\":true,\"degrade_reason\":\"deadline\","
+            "\"epsilon_achieved\":0.125,"
             "\"nodes\":[0],\"estimates\":[0.25]}");
+
+  // A lost worker tier degrades with its own reason on the wire.
+  deg.degrade_reason = StatusCode::kUnavailable;
+  EXPECT_NE(SerializeQueryResult(deg).find("\"degrade_reason\":\"shard_lost\""),
+            std::string::npos);
+  deg.degrade_reason = StatusCode::kDeadlineExceeded;
 
   // Truncation before any variance estimate: the achieved bound is
   // infinite, which JSON spells null.

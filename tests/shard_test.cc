@@ -1,0 +1,445 @@
+// The sharded serving tier, pinned against the determinism contract: a
+// query answered through worker shards — at any shard count, any
+// admission concurrency, and across worker kills with stripe
+// reassignment — must be bitwise identical to the same query sampled
+// locally. Past the retry budget a query degrades (shard_lost), never
+// errors and never lands in the memo.
+//
+// Workers here are in-process threads running the real RunWorkerLoop
+// over a socketpair (the ThreadLauncher below), so a "crash" is a
+// deterministic socket shutdown rather than a racy SIGKILL; the CI
+// fault-injection job covers the fork/exec ProcessWorkerLauncher path
+// with real processes.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bicomp/isp.h"
+#include "graph/binary_io.h"
+#include "graph/io.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/query.h"
+#include "service/scheduler.h"
+#include "service/session.h"
+#include "service/session_pool.h"
+#include "service/shard.h"
+#include "service/shard_worker.h"
+#include "test_util.h"
+#include "util/failpoint.h"
+
+namespace saphyra {
+namespace {
+
+using testing::RandomConnectedGraph;
+
+std::string TempPath(const std::string& stem) {
+  return "/tmp/saphyra_shard_test_" + std::to_string(::getpid()) + "_" + stem;
+}
+
+struct GraphFiles {
+  std::string text_path;
+  std::string sgr_path;
+
+  explicit GraphFiles(const Graph& g) : text_path(TempPath("graph.txt")) {
+    sgr_path = SgrCachePathFor(text_path);
+    SAPHYRA_CHECK(SaveSnapEdgeList(g, text_path).ok());
+    Graph parsed;
+    SAPHYRA_CHECK(LoadSnapEdgeList(text_path, &parsed).ok());
+    IspIndex isp(parsed);
+    SgrWriteOptions wopts;
+    wopts.source_path = text_path;
+    SAPHYRA_CHECK(WriteSgr(sgr_path, parsed, &isp.bcc(), &isp.conn(),
+                           &isp.views(), &isp.tree(), wopts)
+                      .ok());
+  }
+  ~GraphFiles() {
+    std::remove(text_path.c_str());
+    std::remove(sgr_path.c_str());
+  }
+};
+
+/// In-process WorkerLauncher: each incarnation is a thread running the
+/// real worker loop over its half of a socketpair. KillWorker() shuts the
+/// socket down — the loop exits exactly as it would on a process death,
+/// and the coordinator sees the connection drop.
+class ThreadLauncher : public WorkerLauncher {
+ public:
+  explicit ThreadLauncher(const std::string& graph_path)
+      : pool_(SessionPoolOptions()) {
+    SAPHYRA_CHECK(pool_.Register("g", graph_path).ok());
+  }
+  ~ThreadLauncher() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [index, inc] : incarnations_) StopLocked(inc.get());
+  }
+
+  Status Launch(uint32_t index, net::UniqueFd* conn) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = incarnations_.find(index);
+    if (it != incarnations_.end()) {
+      if (refuse_relaunch_) {
+        return Status::Unavailable("relaunch refused (test launcher)");
+      }
+      StopLocked(it->second.get());
+      incarnations_.erase(it);
+    } else if (refuse_relaunch_) {
+      return Status::Unavailable("relaunch refused (test launcher)");
+    }
+    net::UniqueFd coord_side;
+    auto inc = std::make_unique<Incarnation>();
+    Status st = net::SocketPair(&coord_side, &inc->fd);
+    if (!st.ok()) return st;
+    Incarnation* raw = inc.get();
+    SessionPool* pool = &pool_;
+    inc->thread = std::thread([raw, pool, index] {
+      WorkerLoopOptions opts;
+      opts.index = index;
+      (void)RunWorkerLoop(raw->fd.get(), pool, opts);
+      // However the loop ended (quit, peer close, injected crash), die
+      // like a process would: the coordinator side must see EOF now.
+      ::shutdown(raw->fd.get(), SHUT_RDWR);
+    });
+    // Consume the hello frame, as ProcessWorkerLauncher's rendezvous does.
+    std::string hello;
+    st = net::RecvFrame(coord_side.get(), &hello, Deadline::AfterMillis(5000));
+    if (!st.ok()) {
+      StopLocked(raw);
+      return st;
+    }
+    ++launches_;
+    incarnations_[index] = std::move(inc);
+    *conn = std::move(coord_side);
+    return Status::OK();
+  }
+
+  /// Simulate a worker crash: the loop's next recv/send fails and the
+  /// thread exits, the coordinator's connection drops.
+  void KillWorker(uint32_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = incarnations_.find(index);
+    if (it != incarnations_.end()) {
+      ::shutdown(it->second->fd.get(), SHUT_RDWR);
+    }
+  }
+
+  void set_refuse_relaunch(bool refuse) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refuse_relaunch_ = refuse;
+  }
+  uint64_t launches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return launches_;
+  }
+
+ private:
+  struct Incarnation {
+    net::UniqueFd fd;  ///< worker-side half; the thread borrows it
+    std::thread thread;
+  };
+  void StopLocked(Incarnation* inc) {
+    ::shutdown(inc->fd.get(), SHUT_RDWR);
+    if (inc->thread.joinable()) inc->thread.join();
+  }
+
+  SessionPool pool_;
+  mutable std::mutex mu_;
+  std::map<uint32_t, std::unique_ptr<Incarnation>> incarnations_;
+  bool refuse_relaunch_ = false;
+  uint64_t launches_ = 0;
+};
+
+/// Every estimator family, including the weighted-loss ones (k-path,
+/// closeness) whose deltas carry the fixed-point moment arrays.
+std::vector<QueryRequest> ShardWorkload() {
+  std::vector<QueryRequest> reqs;
+  QueryRequest bc;
+  bc.id = "bc";
+  bc.estimator = EstimatorKind::kBc;
+  bc.epsilon = 0.1;
+  bc.seed = 7;
+  bc.targets = {0, 3, 5, 9, 12, 17};
+  reqs.push_back(bc);
+
+  QueryRequest topk = bc;
+  topk.id = "bc-topk";
+  topk.top_k = 2;
+  topk.targets = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  reqs.push_back(topk);
+
+  QueryRequest kadabra;
+  kadabra.id = "kadabra";
+  kadabra.estimator = EstimatorKind::kKadabra;
+  kadabra.epsilon = 0.15;
+  kadabra.seed = 11;
+  reqs.push_back(kadabra);
+
+  QueryRequest abra;
+  abra.id = "abra";
+  abra.estimator = EstimatorKind::kAbra;
+  abra.epsilon = 0.15;
+  abra.seed = 13;
+  reqs.push_back(abra);
+
+  QueryRequest kpath;
+  kpath.id = "kpath";
+  kpath.estimator = EstimatorKind::kKPath;
+  kpath.epsilon = 0.1;
+  kpath.seed = 17;
+  kpath.k = 4;
+  kpath.targets = {0, 1, 2, 3, 4, 5, 6, 7};
+  reqs.push_back(kpath);
+
+  QueryRequest closeness;
+  closeness.id = "closeness";
+  closeness.estimator = EstimatorKind::kCloseness;
+  closeness.epsilon = 0.1;
+  closeness.seed = 19;
+  closeness.targets = {0, 1, 2, 3, 4, 5, 6, 7};
+  reqs.push_back(closeness);
+  return reqs;
+}
+
+void ExpectBitwiseEqual(const QueryResult& a, const QueryResult& b,
+                        const std::string& what) {
+  ASSERT_TRUE(a.status.ok()) << what << ": " << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << what << ": " << b.status.ToString();
+  EXPECT_FALSE(b.degraded) << what;
+  ASSERT_EQ(a.nodes, b.nodes) << what;
+  ASSERT_EQ(a.estimates.size(), b.estimates.size()) << what;
+  EXPECT_EQ(std::memcmp(a.estimates.data(), b.estimates.data(),
+                        a.estimates.size() * sizeof(double)),
+            0)
+      << what << ": estimates differ bitwise";
+  EXPECT_EQ(a.samples_used, b.samples_used) << what;
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  ShardTest() : files_(RandomConnectedGraph(60, 0.06, 33)) {
+    SAPHYRA_CHECK(
+        QuerySession::Open(files_.sgr_path, SessionOptions(), &session_).ok());
+  }
+
+  /// The non-sharded reference bytes, computed once per fixture.
+  const std::vector<QueryResult>& Baseline() {
+    if (baseline_.empty()) {
+      SchedulerOptions opts;
+      opts.memo_capacity = 0;
+      BatchScheduler local(session_.get(), opts);
+      baseline_ = local.RunBatch(ShardWorkload());
+    }
+    return baseline_;
+  }
+
+  /// Test-speed shard options: no heartbeat thread, fast backoff.
+  static ShardOptions FastOptions(uint32_t workers, uint32_t retry_budget = 2) {
+    ShardOptions sopts;
+    sopts.num_workers = workers;
+    sopts.retry_budget = retry_budget;
+    sopts.heartbeat_ms = 0;
+    sopts.backoff_initial_ms = 1;
+    sopts.backoff_max_ms = 20;
+    return sopts;
+  }
+
+  GraphFiles files_;
+  std::unique_ptr<QuerySession> session_;
+  std::vector<QueryResult> baseline_;
+};
+
+TEST_F(ShardTest, ShardedMatchesLocalBitwise) {
+  const std::vector<QueryRequest> workload = ShardWorkload();
+  const std::vector<QueryResult>& baseline = Baseline();
+
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    ThreadLauncher launcher(files_.sgr_path);
+    WorkerSupervisor supervisor(&launcher, FastOptions(workers));
+    ASSERT_TRUE(supervisor.Start().ok());
+    for (uint32_t concurrency : {1u, 2u, 8u}) {
+      SchedulerOptions opts;
+      opts.max_concurrent = concurrency;
+      opts.memo_capacity = 0;
+      opts.supervisor = &supervisor;
+      BatchScheduler scheduler(session_.get(), opts);
+      const std::vector<QueryResult> results = scheduler.RunBatch(workload);
+      ASSERT_EQ(results.size(), baseline.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        ExpectBitwiseEqual(baseline[i], results[i],
+                           "workers=" + std::to_string(workers) +
+                               " concurrency=" + std::to_string(concurrency) +
+                               " query " + workload[i].id);
+      }
+    }
+    // Every wave went through the tier, none failed.
+    uint64_t waves = 0;
+    for (const ShardWorkerStats& w : supervisor.stats()) waves += w.waves;
+    EXPECT_GT(waves, 0u) << "workers=" << workers;
+    supervisor.Shutdown();
+  }
+}
+
+TEST_F(ShardTest, WorkerKilledBetweenQueriesRecoversBitwise) {
+  const std::vector<QueryRequest> workload = ShardWorkload();
+  const std::vector<QueryResult>& baseline = Baseline();
+
+  ThreadLauncher launcher(files_.sgr_path);
+  WorkerSupervisor supervisor(&launcher, FastOptions(2));
+  ASSERT_TRUE(supervisor.Start().ok());
+  SchedulerOptions opts;
+  opts.memo_capacity = 0;
+  opts.supervisor = &supervisor;
+  BatchScheduler scheduler(session_.get(), opts);
+
+  // Kill worker 0 cold: the next wave's RPC to it fails, its stripes are
+  // reassigned to worker 1, and it restarts under backoff — all invisible
+  // in the result bytes.
+  launcher.KillWorker(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  const std::vector<QueryResult> results = scheduler.RunBatch(workload);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ExpectBitwiseEqual(baseline[i], results[i],
+                       "post-kill query " + workload[i].id);
+  }
+
+  uint64_t retries = 0, reassigned = 0, restarts = 0;
+  for (const ShardWorkerStats& w : supervisor.stats()) {
+    retries += w.retries;
+    reassigned += w.stripes_reassigned;
+    restarts += w.restarts;
+  }
+  EXPECT_GE(retries, 1u);
+  EXPECT_GE(reassigned, 1u);
+  EXPECT_GE(restarts, 1u);
+  EXPECT_GE(launcher.launches(), 3u);  // 2 initial + >=1 relaunch
+  supervisor.Shutdown();
+}
+
+TEST_F(ShardTest, HeartbeatDetectsDeadWorkerAndQueriesStillMatch) {
+  const std::vector<QueryRequest> workload = ShardWorkload();
+  const std::vector<QueryResult>& baseline = Baseline();
+
+  ThreadLauncher launcher(files_.sgr_path);
+  ShardOptions sopts = FastOptions(2);
+  sopts.heartbeat_ms = 20;
+  WorkerSupervisor supervisor(&launcher, sopts);
+  ASSERT_TRUE(supervisor.Start().ok());
+
+  launcher.KillWorker(1);
+  // Let the heartbeat discover the corpse while the tier is idle.
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    uint64_t misses = 0;
+    for (const ShardWorkerStats& w : supervisor.stats()) {
+      misses += w.heartbeat_misses;
+    }
+    if (misses > 0) break;
+  }
+  uint64_t misses = 0;
+  for (const ShardWorkerStats& w : supervisor.stats()) {
+    misses += w.heartbeat_misses;
+  }
+  EXPECT_GE(misses, 1u);
+
+  SchedulerOptions opts;
+  opts.memo_capacity = 0;
+  opts.supervisor = &supervisor;
+  BatchScheduler scheduler(session_.get(), opts);
+  const std::vector<QueryResult> results = scheduler.RunBatch(workload);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ExpectBitwiseEqual(baseline[i], results[i],
+                       "post-heartbeat query " + workload[i].id);
+  }
+  supervisor.Shutdown();
+}
+
+TEST_F(ShardTest, RetryBudgetExhaustionDegradesInsteadOfErroring) {
+  ThreadLauncher launcher(files_.sgr_path);
+  WorkerSupervisor supervisor(&launcher, FastOptions(2, /*retry_budget=*/1));
+  ASSERT_TRUE(supervisor.Start().ok());
+
+  // Lose the whole tier, permanently: every wave round fails until the
+  // budget runs out.
+  launcher.set_refuse_relaunch(true);
+  launcher.KillWorker(0);
+  launcher.KillWorker(1);
+
+  SchedulerOptions opts;
+  opts.supervisor = &supervisor;
+  BatchScheduler scheduler(session_.get(), opts);
+  QueryRequest req = ShardWorkload()[3];  // abra: single progressive run
+  const QueryResult res = scheduler.Run(req);
+
+  // A lost tier is a degraded answer, not an error.
+  ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.degrade_reason, StatusCode::kUnavailable);
+  EXPECT_EQ(res.mode, ServeMode::kComputed);
+  const std::string line = SerializeQueryResult(res);
+  EXPECT_NE(line.find("\"degraded\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"degrade_reason\":\"shard_lost\""), std::string::npos)
+      << line;
+
+  // Degraded results are never memoized: the identical request computes
+  // again (and degrades again — the tier is still gone).
+  const QueryResult again = scheduler.Run(req);
+  ASSERT_TRUE(again.status.ok()) << again.status.ToString();
+  EXPECT_TRUE(again.degraded);
+  EXPECT_EQ(again.mode, ServeMode::kComputed);
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.computed, 2u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_EQ(stats.degraded, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+  supervisor.Shutdown();
+}
+
+#ifdef SAPHYRA_FAILPOINTS
+TEST_F(ShardTest, MidWaveCrashReplaysStripesBitwise) {
+  const std::vector<QueryRequest> workload = ShardWorkload();
+  const std::vector<QueryResult>& baseline = Baseline();
+
+  ThreadLauncher launcher(files_.sgr_path);
+  WorkerSupervisor supervisor(&launcher, FastOptions(2));
+  ASSERT_TRUE(supervisor.Start().ok());
+
+  // The first wave RPC that reaches a worker dies mid-wave: the loop
+  // exits without replying — after the worker half-consumed its stripes'
+  // RNG streams. The survivor (and the restarted worker, which rebuilds
+  // from the seed) must replay those stripes to the same bits.
+  ASSERT_TRUE(fail::Inject("worker.wave", "1*throw(mid-wave crash)"));
+
+  SchedulerOptions opts;
+  opts.memo_capacity = 0;
+  opts.supervisor = &supervisor;
+  BatchScheduler scheduler(session_.get(), opts);
+  const std::vector<QueryResult> results = scheduler.RunBatch(workload);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ExpectBitwiseEqual(baseline[i], results[i],
+                       "mid-wave-crash query " + workload[i].id);
+  }
+
+  uint64_t retries = 0, reassigned = 0;
+  for (const ShardWorkerStats& w : supervisor.stats()) {
+    retries += w.retries;
+    reassigned += w.stripes_reassigned;
+  }
+  EXPECT_GE(retries, 1u);
+  EXPECT_GE(reassigned, 1u);
+  fail::ClearAll();
+  supervisor.Shutdown();
+}
+#endif  // SAPHYRA_FAILPOINTS
+
+}  // namespace
+}  // namespace saphyra

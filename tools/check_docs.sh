@@ -142,8 +142,25 @@ else
     echo "check_docs: docs/serving.md lost the 'Multi-graph tenancy' section" >&2
     fail=1
   fi
+  # The sharded-tier flags carry the same parsed-AND-documented contract,
+  # and the section explaining the stripe/bitwise-identity argument and
+  # the failure matrix must survive.
+  for flag in --workers --shard-socket --retry-budget --heartbeat-ms; do
+    if ! grep -qF -- "\"$flag\"" "$REPO_ROOT/tools/saphyra_serve.cc"; then
+      echo "check_docs: tools/saphyra_serve.cc no longer parses $flag" >&2
+      fail=1
+    fi
+    if ! grep -qF -- "$flag" "$serving_doc"; then
+      echo "check_docs: docs/serving.md no longer documents $flag" >&2
+      fail=1
+    fi
+  done
+  if ! grep -qF "Sharded serving" "$serving_doc"; then
+    echo "check_docs: docs/serving.md lost the 'Sharded serving' section" >&2
+    fail=1
+  fi
   for code in INVALID_ARGUMENT DEADLINE_EXCEEDED RESOURCE_EXHAUSTED \
-              CANCELLED INTERNAL; do
+              CANCELLED INTERNAL UNAVAILABLE; do
     if ! grep -qF "\"$code\"" "$REPO_ROOT/src/util/status.cc"; then
       echo "check_docs: src/util/status.cc no longer emits wire code $code" >&2
       fail=1
