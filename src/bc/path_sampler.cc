@@ -2,86 +2,15 @@
 
 #include <algorithm>
 
+#include "graph/adjacency.h"
 #include "util/logging.h"
 
 namespace saphyra {
 
-namespace {
-
-// Adjacency adapters the traversal core is templated over. Each exposes
-//   ForEachScanned(u, f) — visit the allowed neighbors of u, charging every
-//                          arc scanned (allowed or not) to *scanned,
-//   ForEach(u, f)        — the same visit without cost accounting (the
-//                          backward walks are not part of the scan metric),
-//   Cost(u)              — arc mass for the frontier-balancing heuristic.
-// The restriction test is resolved at compile time: the component-view
-// adapter has none, the filtered adapter keeps the per-arc label compare.
-
-// Adapters with a compact vertex domain additionally expose
-//   DomainSize()  — number of vertices local ids range over,
-//   DomainArcs()  — total directed arcs of the domain,
-// which makes them eligible for the bottom-up pull: the direction
-// heuristic needs the unexplored arc mass, and the candidate scan needs
-// the id range. The filtered adapter exposes neither — its per-arc labels
-// are indexed by the *scanning* endpoint's CSR slot, so a pull would test
-// the wrong arc; it always pushes.
-
-struct GlobalAdj {
-  const Graph* g;
-  NodeId DomainSize() const { return g->num_nodes(); }
-  uint64_t DomainArcs() const { return g->num_arcs(); }
-  std::span<const NodeId> ArcsOf(NodeId u) const { return g->neighbors(u); }
-  void PrefetchNode(NodeId u) const {
-    __builtin_prefetch(g->neighbors(u).data(), 0, 2);
-  }
-  template <class F>
-  void ForEach(NodeId u, F&& f) const {
-    for (NodeId v : g->neighbors(u)) f(v);
-  }
-  uint64_t Cost(NodeId u) const { return g->degree(u); }
-};
-
-struct FilteredAdj {
-  const Graph* g;
-  const std::vector<uint32_t>* arc_component;
-  uint32_t comp;
-  template <class F>
-  void ForEachScanned(NodeId u, uint64_t* scanned, F&& f) const {
-    const EdgeIndex base = g->offset(u);
-    const auto nbr = g->neighbors(u);
-    *scanned += nbr.size();
-    for (size_t i = 0; i < nbr.size(); ++i) {
-      if ((*arc_component)[base + i] == comp) f(nbr[i]);
-    }
-  }
-  template <class F>
-  void ForEach(NodeId u, F&& f) const {
-    const EdgeIndex base = g->offset(u);
-    const auto nbr = g->neighbors(u);
-    for (size_t i = 0; i < nbr.size(); ++i) {
-      if ((*arc_component)[base + i] == comp) f(nbr[i]);
-    }
-  }
-  uint64_t Cost(NodeId u) const { return g->degree(u); }
-};
-
-struct ViewAdj {
-  const ComponentViews* views;
-  uint32_t comp;
-  NodeId DomainSize() const { return views->size(comp); }
-  uint64_t DomainArcs() const { return views->num_arcs(comp); }
-  std::span<const NodeId> ArcsOf(NodeId u) const {
-    return views->Neighbors(comp, u);
-  }
-  void PrefetchNode(NodeId u) const { views->PrefetchOffsets(comp, u); }
-  template <class F>
-  void ForEach(NodeId u, F&& f) const {
-    for (NodeId v : views->Neighbors(comp, u)) f(v);
-  }
-  uint64_t Cost(NodeId u) const { return views->Degree(comp, u); }
-};
-
-}  // namespace
+// The adjacency adapters the traversal core is templated over live in
+// graph/adjacency.h, shared with the delta-overlay substrate; the
+// restriction test is still resolved at compile time (the component-view
+// adapter has none, the filtered adapter keeps the per-arc label compare).
 
 PathSampler::PathSampler(const Graph& g,
                          const std::vector<uint32_t>* arc_component)

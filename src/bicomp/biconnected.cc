@@ -136,20 +136,32 @@ Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
     if (root_children >= 2) out.is_cutpoint[root] = 1;
   }
 
-  // Canonical numbering: components ordered by their smallest CSR arc
+  // Canonical numbering + derived node fields, shared with the parallel
+  // and incremental passes: components ordered by their smallest CSR arc
   // index rather than DFS pop order, making the labeling a pure function
-  // of the graph. The parallel pass produces the same numbering, which is
-  // what keeps `.sgr` decomposition sections bitwise identical across
-  // --bicomp-threads settings.
+  // of the graph. This is what keeps `.sgr` decomposition sections
+  // bitwise identical across --bicomp-threads settings and across
+  // incremental repairs.
+  const uint32_t dfs_components = out.num_components;
+  FinalizeBicompFields(g, dfs_components, /*derive_cutpoints=*/false, &out);
+  SAPHYRA_CHECK(out.num_components == dfs_components);
+  return Status::OK();
+}
+
+void FinalizeBicompFields(const Graph& g, uint32_t label_space,
+                          bool derive_cutpoints,
+                          BiconnectedComponents* result) {
+  BiconnectedComponents& out = *result;
+  const NodeId n = g.num_nodes();
   {
-    std::vector<uint32_t> renumber(out.num_components, kInvalidComp);
+    std::vector<uint32_t> renumber(label_space, kInvalidComp);
     uint32_t next = 0;
     for (EdgeIndex e = 0; e < g.num_arcs(); ++e) {
       uint32_t& id = renumber[out.arc_component[e]];
       if (id == kInvalidComp) id = next++;
     }
-    SAPHYRA_CHECK(next == out.num_components);
     for (uint32_t& c : out.arc_component) c = renumber[c];
+    out.num_components = next;
   }
 
   // Collect member nodes per component from the arc labels.
@@ -171,18 +183,26 @@ Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
     nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
   }
   // node_component + cutpoint multiplicities.
+  out.node_component.assign(n, kInvalidComp);
+  out.cutpoint_comp_count_.assign(n, 0);
   for (uint32_t c = 0; c < out.num_components; ++c) {
     for (NodeId v : out.component_nodes[c]) {
       if (out.node_component[v] == kInvalidComp) out.node_component[v] = c;
       ++out.cutpoint_comp_count_[v];
     }
   }
-  for (NodeId v = 0; v < n; ++v) {
-    // Consistency: multiplicity > 1 iff flagged as cutpoint.
-    SAPHYRA_CHECK((out.cutpoint_comp_count_[v] > 1) ==
-                  (out.is_cutpoint[v] != 0));
+  if (derive_cutpoints) {
+    out.is_cutpoint.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.cutpoint_comp_count_[v] > 1) out.is_cutpoint[v] = 1;
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      // Consistency: multiplicity > 1 iff flagged as cutpoint.
+      SAPHYRA_CHECK((out.cutpoint_comp_count_[v] > 1) ==
+                    (out.is_cutpoint[v] != 0));
+    }
   }
-  return Status::OK();
 }
 
 }  // namespace saphyra

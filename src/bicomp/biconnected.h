@@ -91,6 +91,28 @@ Status ComputeBiconnectedComponentsBounded(const Graph& g, uint64_t max_depth,
 /// \brief Compute the reverse-arc map alone (used by tests/samplers).
 std::vector<EdgeIndex> ComputeReverseArcs(const Graph& g);
 
+/// \brief Canonical finalization shared by the decomposition passes.
+///
+/// On entry `out->arc_component` holds a provisional per-arc labeling
+/// (values < `label_space`, both directions of an edge sharing a label)
+/// that partitions the arcs into the graph's biconnected components —
+/// with any label values, in any order. The helper renumbers the labels
+/// canonically (ascending smallest CSR arc index — the contract above),
+/// sets num_components, and rebuilds component_nodes, node_component and
+/// the cutpoint multiplicities from the labels. With `derive_cutpoints`
+/// set, is_cutpoint is derived as multiplicity > 1 (a node is an
+/// articulation point iff it belongs to at least two components, the
+/// incremental repair path); otherwise the caller's is_cutpoint is kept
+/// and checked consistent (the serial pass cross-validates its Tarjan
+/// cutpoints this way). rev_arc is untouched.
+///
+/// Because every derived field is a pure function of the arc partition,
+/// any pass that produces the correct partition — serial DFS, parallel
+/// labeling, or incremental repair — ends up bitwise identical after
+/// this finalization.
+void FinalizeBicompFields(const Graph& g, uint32_t label_space,
+                          bool derive_cutpoints, BiconnectedComponents* out);
+
 }  // namespace saphyra
 
 #endif  // SAPHYRA_BICOMP_BICONNECTED_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "service/json_util.h"
 #include "util/hash.h"
@@ -56,6 +57,22 @@ const char* DegradeReasonName(StatusCode code) {
 }  // namespace
 
 Status CanonicalizeQuery(NodeId num_nodes, QueryRequest* req) {
+  if (req->op == RequestOp::kUpdate) {
+    // Structural validation only: existence/duplication of the edge is
+    // checked against the live overlay at apply time, where the answer
+    // cannot go stale between validation and application.
+    if (req->edge_u >= num_nodes || req->edge_v >= num_nodes) {
+      return Status::InvalidArgument(
+          "update edge endpoint " +
+          std::to_string(std::max(req->edge_u, req->edge_v)) +
+          " out of range (n=" + std::to_string(num_nodes) + ")");
+    }
+    if (req->edge_u == req->edge_v) {
+      return Status::InvalidArgument("update edge must not be a self loop");
+    }
+    if (req->edge_u > req->edge_v) std::swap(req->edge_u, req->edge_v);
+    return Status::OK();
+  }
   if (!(req->epsilon > 0.0) || req->epsilon > 1.0) {
     return Status::InvalidArgument("epsilon must be in (0, 1]");
   }
@@ -141,12 +158,66 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
     return Status::OK();
   };
 
+  // Strictness across request kinds: a statistical field on an update
+  // line (or a mutation field on a query line) is a malformed request,
+  // not a silently-ignored one. Track the first offender of each kind
+  // and judge once "op" is known, whatever the key order was.
+  std::string query_only_key;   // first statistical/execution field seen
+  std::string update_only_key;  // first mutation field seen
+  bool edge_seen = false;
+  bool action_seen = false;
+
   for (const auto& [key, value] : doc.object) {
+    if (key != "id" && key != "graph" && key != "op") {
+      if (key == "action" || key == "edge") {
+        if (update_only_key.empty()) update_only_key = key;
+      } else if (query_only_key.empty()) {
+        query_only_key = key;
+      }
+    }
     if (key == "id") {
       if (value.type != JsonValue::Type::kString) {
         return Status::InvalidArgument("id must be a string");
       }
       out->id = value.string_value;
+    } else if (key == "op") {
+      if (value.type == JsonValue::Type::kString &&
+          value.string_value == "query") {
+        out->op = RequestOp::kQuery;
+      } else if (value.type == JsonValue::Type::kString &&
+                 value.string_value == "update") {
+        out->op = RequestOp::kUpdate;
+      } else {
+        return Status::InvalidArgument("op must be query or update");
+      }
+    } else if (key == "action") {
+      if (value.type == JsonValue::Type::kString &&
+          value.string_value == "insert") {
+        out->action = EdgeMutationKind::kInsert;
+      } else if (value.type == JsonValue::Type::kString &&
+                 value.string_value == "delete") {
+        out->action = EdgeMutationKind::kDelete;
+      } else {
+        return Status::InvalidArgument("action must be insert or delete");
+      }
+      action_seen = true;
+    } else if (key == "edge") {
+      if (value.type != JsonValue::Type::kArray || value.array.size() != 2) {
+        return Status::InvalidArgument(
+            "edge must be an array of exactly two node ids");
+      }
+      NodeId ends[2];
+      for (size_t i = 0; i < 2; ++i) {
+        uint64_t id = 0;
+        SAPHYRA_RETURN_NOT_OK(get_uint(value.array[i], "edge endpoint", &id));
+        if (id >= kInvalidNode) {
+          return Status::InvalidArgument("edge endpoint exceeds node range");
+        }
+        ends[i] = static_cast<NodeId>(id);
+      }
+      out->edge_u = ends[0];
+      out->edge_v = ends[1];
+      edge_seen = true;
     } else if (key == "graph") {
       if (value.type != JsonValue::Type::kString) {
         return Status::InvalidArgument("graph must be a string");
@@ -220,6 +291,19 @@ Status ParseQueryRequest(const std::string& line, QueryRequest* out) {
       return Status::InvalidArgument("unknown request field: " + key);
     }
   }
+  if (out->op == RequestOp::kUpdate) {
+    if (!query_only_key.empty()) {
+      return Status::InvalidArgument("field \"" + query_only_key +
+                                     "\" is not allowed in update requests");
+    }
+    if (!action_seen || !edge_seen) {
+      return Status::InvalidArgument(
+          "update requests need both \"action\" and \"edge\"");
+    }
+  } else if (!update_only_key.empty()) {
+    return Status::InvalidArgument("field \"" + update_only_key +
+                                   "\" requires \"op\":\"update\"");
+  }
   return Status::OK();
 }
 
@@ -233,6 +317,13 @@ std::string SerializeQueryRequest(const QueryRequest& req) {
   std::string out = "{";
   if (!req.id.empty()) out += "\"id\":" + JsonQuote(req.id) + ",";
   if (!req.graph.empty()) out += "\"graph\":" + JsonQuote(req.graph) + ",";
+  if (req.op == RequestOp::kUpdate) {
+    out += "\"op\":\"update\",\"action\":\"";
+    out += req.action == EdgeMutationKind::kInsert ? "insert" : "delete";
+    out += "\",\"edge\":[" + std::to_string(req.edge_u) + "," +
+           std::to_string(req.edge_v) + "]}";
+    return out;
+  }
   out += "\"estimator\":\"";
   out += EstimatorKindName(req.estimator);
   out += "\",\"epsilon\":" + JsonNumber(req.epsilon);
@@ -262,6 +353,19 @@ std::string SerializeQueryResult(const QueryResult& res) {
     out += ",\"ok\":false,\"code\":\"";
     out += StatusCodeWireName(res.status.code());
     out += "\",\"error\":" + JsonQuote(res.status.ToString()) + "}";
+    return out;
+  }
+  if (res.op == RequestOp::kUpdate) {
+    // Update acknowledgements carry the new epoch and its chained
+    // fingerprint (hex, zero-padded, so clients can compare digests as
+    // strings) instead of estimator fields.
+    char fp[17];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(res.fingerprint));
+    out += ",\"ok\":true,\"op\":\"update\",\"epoch\":" +
+           std::to_string(res.epoch) + ",\"fingerprint\":\"" + fp + "\"";
+    if (res.compacted) out += ",\"compacted\":true";
+    out += ",\"seconds\":" + JsonNumber(res.seconds) + "}";
     return out;
   }
   out += ",\"ok\":true,\"estimator\":\"";

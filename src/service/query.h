@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bc/path_sampler.h"
+#include "bicomp/incremental.h"
 #include "graph/frontier.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -34,6 +35,16 @@
 namespace saphyra {
 
 class JsonValue;
+
+/// \brief What a request line asks the server to do: answer a statistical
+/// query (the default) or mutate the graph ({"op":"update"}). Updates
+/// carry an action + edge instead of statistical parameters, are never
+/// memoized, and bump the graph's mutation epoch — see docs/serving.md,
+/// "Dynamic graphs".
+enum class RequestOp : uint8_t {
+  kQuery = 0,
+  kUpdate = 1,
+};
 
 /// \brief Which estimator answers the query.
 enum class EstimatorKind : uint8_t {
@@ -60,6 +71,15 @@ struct QueryRequest {
   /// reject a non-empty name they were not started with (NOT_FOUND).
   std::string graph;
   EstimatorKind estimator = EstimatorKind::kBc;
+
+  /// Query or update. For updates, only id/graph/action/edge may appear
+  /// on the wire — a statistical field on an update line is rejected, so
+  /// a mistyped request can never half-apply as the wrong kind.
+  RequestOp op = RequestOp::kQuery;
+  /// Update-only: insert or delete the undirected edge {edge_u, edge_v}.
+  EdgeMutationKind action = EdgeMutationKind::kInsert;
+  NodeId edge_u = 0;
+  NodeId edge_v = 0;
 
   // --- statistical parameters (part of the cache key) ------------------
   double epsilon = 0.05;
@@ -95,7 +115,10 @@ struct QueryRequest {
 /// estimator ignores reset to its default so it cannot split cache
 /// entries (strategy for closeness/k-path/ABRA, k for everything but
 /// k-path, and — being execution-only — traversal and num_threads are
-/// left alone but never encoded).
+/// left alone but never encoded). Updates canonicalize differently: the
+/// edge endpoints are range-checked (out of range or a self loop →
+/// INVALID_ARGUMENT) and ordered edge_u < edge_v; whether the edge
+/// exists is the overlay's business at apply time, not the parser's.
 Status CanonicalizeQuery(NodeId num_nodes, QueryRequest* req);
 
 /// \brief Memoization key of a canonicalized request on a specific graph.
@@ -159,6 +182,18 @@ struct QueryResult {
   /// estimator's own units; infinity when truncation preceded any
   /// variance estimate (serialized as null).
   double epsilon_achieved = 0.0;
+
+  // --- update results (op == kUpdate only) -----------------------------
+  /// Echoes the request kind; update results serialize as
+  /// {"ok":true,"op":"update","epoch":E,"fingerprint":"<hex>",...} with
+  /// none of the estimator fields above.
+  RequestOp op = RequestOp::kQuery;
+  /// The mutation epoch the update produced.
+  uint64_t epoch = 0;
+  /// The new chained graph fingerprint (ChainMutationFingerprint).
+  uint64_t fingerprint = 0;
+  /// Whether this update compacted the overlay onto a clean CSR.
+  bool compacted = false;
 };
 
 /// \brief Parse one NDJSON request line. Unknown fields are rejected (a

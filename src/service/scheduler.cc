@@ -8,6 +8,7 @@
 
 #include "service/shard.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 
 namespace saphyra {
 namespace {
@@ -85,16 +86,75 @@ void BatchScheduler::InsertMemoLocked(
   }
 }
 
+QueryResult BatchScheduler::RunUpdate(QuerySession* session,
+                                      const QueryRequest& request,
+                                      const QueryRequest& canonical) {
+  QueryResult res;
+  res.id = request.id;
+  res.graph = request.graph;
+  res.op = RequestOp::kUpdate;
+  Status st = Status::OK();
+  if (!options_.allow_updates) {
+    st = Status::FailedPrecondition(
+        "updates are disabled (start the server with --allow-updates)");
+  }
+  if (st.ok() && options_.server_cancel != nullptr) {
+    const StatusCode why = options_.server_cancel->Poll();
+    if (why != StatusCode::kOk) {
+      st = CancelToken::ToStatus(why, "update " + request.id);
+    }
+  }
+  UpdateOutcome outcome;
+  Timer timer;
+  if (st.ok()) {
+    const EdgeMutation mut{canonical.action, canonical.edge_u,
+                           canonical.edge_v};
+    // One critical section covers the local apply AND the worker
+    // broadcast: concurrent updates (even to different graphs) must reach
+    // every worker in the order their epochs chained, or a restarted
+    // worker's replayed fingerprints would diverge from the live ones.
+    std::lock_guard<std::mutex> lock(update_mu_);
+    st = session->ApplyUpdate(mut, &outcome);
+    if (st.ok() && options_.supervisor != nullptr) {
+      options_.supervisor->BroadcastUpdate(canonical.graph, mut,
+                                           outcome.fingerprint);
+    }
+  }
+  res.seconds = timer.ElapsedSeconds();
+  res.status = st;
+  res.epoch = outcome.epoch;
+  res.fingerprint = outcome.fingerprint;
+  res.compacted = outcome.compacted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    if (st.ok()) {
+      ++stats_.updates;
+    } else {
+      ++stats_.errors;
+      if (st.code() == StatusCode::kCancelled) ++stats_.cancelled;
+    }
+  }
+  return res;
+}
+
 QueryResult BatchScheduler::Run(const QueryRequest& request) {
   // Route first: the target range check inside canonicalization needs the
   // resolved graph's node count, and a cold pooled graph loads here (the
   // pinned handle keeps it valid even if the pool evicts it meanwhile).
+  // The snapshot pinned here is the epoch this query runs on, whatever
+  // updates land meanwhile — snapshot isolation.
   std::shared_ptr<QuerySession> session;
   Status st = ResolveSession(request.graph, &session);
+  std::shared_ptr<const GraphSnapshot> snap;
   QueryRequest canonical;
   if (st.ok()) {
+    snap = session->snapshot();
     canonical = request;
-    st = CanonicalizeQuery(session->graph().num_nodes(), &canonical);
+    st = CanonicalizeQuery(snap->graph().num_nodes(), &canonical);
+  }
+  if (st.ok() && canonical.op == RequestOp::kUpdate) {
+    return RunUpdate(session.get(), request, canonical);
   }
   if (st.ok()) st = fail::FaultStatus("scheduler.admit");
   if (!st.ok()) {
@@ -108,8 +168,10 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
     res.status = st;
     return res;
   }
-  const QueryCacheKey key = MakeQueryCacheKey(session->fingerprint(),
-                                              canonical);
+  // Keyed by the pinned epoch's fingerprint: a post-update admission
+  // chains to a new fingerprint and therefore a new key, so memoized
+  // pre-update answers can never serve the mutated graph.
+  const QueryCacheKey key = MakeQueryCacheKey(snap->fingerprint(), canonical);
 
   // Per-query cancellation: the deadline starts at admission (queue time
   // counts against the budget — a client asking for 50 ms cares about
@@ -225,11 +287,11 @@ QueryResult BatchScheduler::Run(const QueryRequest& request) {
         wire.id.clear();
         wire.graph.clear();
         ShardedQuery shard(options_.supervisor, canonical.graph,
-                           session->fingerprint(), SerializeQueryRequest(wire),
+                           snap->fingerprint(), SerializeQueryRequest(wire),
                            &token);
-        res = session->RunCanonical(canonical, &token, &shard);
+        res = session->RunCanonical(*snap, canonical, &token, &shard);
       } else {
-        res = session->RunCanonical(canonical, &token);
+        res = session->RunCanonical(*snap, canonical, &token);
       }
     } catch (const std::exception& e) {
       res.status = Status::Internal(std::string("query execution failed: ") +

@@ -86,10 +86,15 @@ struct SchedulerOptions {
   /// machinery are oblivious to the switch. Borrowed; must outlive the
   /// scheduler.
   WorkerSupervisor* supervisor = nullptr;
+  /// Accept {"op":"update"} requests (saphyra_serve --allow-updates).
+  /// Off by default: a server not expecting mutations answers them with
+  /// FAILED_PRECONDITION instead of silently changing its graphs.
+  bool allow_updates = false;
 };
 
 struct SchedulerStats {
   uint64_t queries = 0;      ///< requests answered
+  uint64_t updates = 0;      ///< graph mutations applied
   uint64_t computed = 0;     ///< estimator executions
   uint64_t memo_hits = 0;    ///< served from the LRU
   uint64_t dedup_hits = 0;   ///< shared an in-flight execution
@@ -149,6 +154,15 @@ class BatchScheduler {
   Status ResolveSession(const std::string& graph,
                         std::shared_ptr<QuerySession>* out);
 
+  /// The {"op":"update"} path: bypasses the memo, the dedup table and
+  /// the slot gate (mutations are cheap, serialized, and must never be
+  /// answered from a cache), applies the mutation to the local session
+  /// and — in sharded mode — broadcasts it to the worker tier under one
+  /// update mutex, so no two updates can interleave differently between
+  /// the coordinator and its workers.
+  QueryResult RunUpdate(QuerySession* session, const QueryRequest& request,
+                        const QueryRequest& canonical);
+
   /// Memo lookup + LRU touch; non-null on hit. Caller holds mu_.
   std::shared_ptr<const QueryResult> LookupMemoLocked(
       const QueryCacheKey& key);
@@ -162,6 +176,11 @@ class BatchScheduler {
 
   mutable std::mutex mu_;
   SchedulerStats stats_;
+  /// Serializes update application across sessions AND the shard
+  /// broadcast: local apply + worker broadcast are one critical section,
+  /// so every worker observes updates in the exact order the epochs
+  /// chained — a reorder would diverge the fingerprint chain.
+  std::mutex update_mu_;
   /// Execution-slot gate: estimator runs in flight / owners queued for a
   /// slot. Slot waiters poll their cancel token every ~10 ms, so a queued
   /// query honors its deadline (and the shutdown token) without a

@@ -10,6 +10,7 @@
 #include "kpath/kpath.h"
 #include "service/shard.h"
 #include "util/failpoint.h"
+#include "util/hash.h"
 #include "util/timer.h"
 
 namespace saphyra {
@@ -39,32 +40,21 @@ void ReportSubset(const std::vector<double>& bc,
 
 }  // namespace
 
-Status QuerySession::Open(const std::string& graph_path,
-                          const SessionOptions& options,
-                          std::unique_ptr<QuerySession>* out) {
-  std::unique_ptr<QuerySession> session(new QuerySession());
-  session->options_ = options;
-  SAPHYRA_RETURN_NOT_OK(LoadGraphAuto(graph_path, options.load,
-                                      &session->cache_,
-                                      &session->loaded_from_cache_));
-  session->graph_ = std::move(session->cache_.graph);
-  if (session->graph_.num_nodes() < 2) {
-    return Status::InvalidArgument("graph too small to serve queries (n=" +
-                                   std::to_string(session->graph_.num_nodes()) +
-                                   ")");
-  }
-  // Prefer the fingerprint the `.sgr` header recorded (free); caches
-  // written before fingerprints existed, and text parses, pay one O(n+m)
-  // pass here — once per session, not per query.
-  session->fingerprint_ = session->cache_.content_fingerprint != 0
-                              ? session->cache_.content_fingerprint
-                              : GraphContentFingerprint(session->graph_);
-  if (options.eager_index) session->isp();
-  *out = std::move(session);
-  return Status::OK();
+uint64_t ChainMutationFingerprint(uint64_t prev, uint64_t epoch,
+                                  EdgeMutationKind kind, NodeId u, NodeId v) {
+  // Endpoint order is canonicalized so {"edge":[u,v]} and [v,u] chain to
+  // the same epoch fingerprint — they are the same undirected mutation.
+  if (u > v) std::swap(u, v);
+  Fnv1a64 h;
+  h.UpdateValue(prev);
+  h.UpdateValue(epoch);
+  h.UpdateValue(static_cast<uint8_t>(kind));
+  h.UpdateValue(u);
+  h.UpdateValue(v);
+  return h.Digest();
 }
 
-const IspIndex& QuerySession::isp() {
+const IspIndex& GraphSnapshot::isp() const {
   std::call_once(isp_once_, [this] {
     fail::MaybeFault("session.index");
     isp_ = cache_.has_decomposition
@@ -74,28 +64,122 @@ const IspIndex& QuerySession::isp() {
   return *isp_;
 }
 
+Status QuerySession::Open(const std::string& graph_path,
+                          const SessionOptions& options,
+                          std::unique_ptr<QuerySession>* out) {
+  std::unique_ptr<QuerySession> session(new QuerySession());
+  session->options_ = options;
+  auto snapshot = std::shared_ptr<GraphSnapshot>(new GraphSnapshot());
+  SAPHYRA_RETURN_NOT_OK(LoadGraphAuto(graph_path, options.load,
+                                      &snapshot->cache_,
+                                      &session->loaded_from_cache_));
+  snapshot->graph_ = std::move(snapshot->cache_.graph);
+  if (snapshot->graph_.num_nodes() < 2) {
+    return Status::InvalidArgument(
+        "graph too small to serve queries (n=" +
+        std::to_string(snapshot->graph_.num_nodes()) + ")");
+  }
+  // Prefer the fingerprint the `.sgr` header recorded (free); caches
+  // written before fingerprints existed, and text parses, pay one O(n+m)
+  // pass here — once per session, not per query.
+  snapshot->fingerprint_ = snapshot->cache_.content_fingerprint != 0
+                               ? snapshot->cache_.content_fingerprint
+                               : GraphContentFingerprint(snapshot->graph_);
+  session->current_ = std::move(snapshot);
+  if (options.eager_index) session->isp();
+  *out = std::move(session);
+  return Status::OK();
+}
+
+Status QuerySession::ApplyUpdate(const EdgeMutation& mut, UpdateOutcome* out) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  std::shared_ptr<const GraphSnapshot> cur = snapshot();
+  if (overlay_ == nullptr) {
+    overlay_base_ = cur;
+    overlay_ = std::make_unique<DeltaOverlay>(&overlay_base_->graph());
+  }
+  // The overlay validates against the *effective* graph and leaves its
+  // state untouched on failure, so a rejected update changes nothing.
+  SAPHYRA_RETURN_NOT_OK(mut.kind == EdgeMutationKind::kInsert
+                            ? overlay_->Insert(mut.u, mut.v)
+                            : overlay_->Remove(mut.u, mut.v));
+
+  auto next = std::shared_ptr<GraphSnapshot>(new GraphSnapshot());
+  next->graph_ = overlay_->Materialize();
+  next->epoch_ = cur->epoch() + 1;
+  next->fingerprint_ = ChainMutationFingerprint(
+      cur->fingerprint(), next->epoch_, mut.kind, mut.u, mut.v);
+
+  // Repair the decomposition from the current epoch's (building its index
+  // now if no query ever had — repairs must chain, and the repaired
+  // decomposition seeds the next repair). The new epoch adopts the result
+  // lazily, exactly like a `.sgr` cache load would.
+  IncrementalBicompStats repair_stats;
+  next->cache_.bcc =
+      RepairBiconnectedComponents(cur->graph(), cur->isp().bcc(),
+                                  next->graph_, mut, options_.repair,
+                                  &repair_stats);
+  next->cache_.conn = ConnectedComponents(next->graph_);
+  next->cache_.views = ComponentViews(next->graph_, next->cache_.bcc);
+  next->cache_.tree =
+      BlockCutTree::Build(next->graph_, next->cache_.bcc, next->cache_.conn);
+  next->cache_.content_fingerprint = 0;  // chained, not content-derived
+  next->cache_.has_decomposition = true;
+
+  bool compacted = false;
+  if (overlay_->delta_size() >= options_.compact_threshold) {
+    // Rebase onto the freshly materialized CSR: subsequent updates merge
+    // against it instead of an ever-growing delta set. The new epoch now
+    // doubles as the overlay's base, so pin it.
+    overlay_->Rebase(&next->graph_);
+    overlay_base_ = next;
+    compacted = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    current_ = next;
+  }
+  if (out != nullptr) {
+    out->epoch = next->epoch_;
+    out->fingerprint = next->fingerprint_;
+    out->compacted = compacted;
+    out->repair_fell_back = repair_stats.fell_back;
+    out->repair_dirty_arcs = repair_stats.dirty_arcs;
+  }
+  return Status::OK();
+}
+
 QueryResult QuerySession::Run(const QueryRequest& request) {
+  std::shared_ptr<const GraphSnapshot> snap = snapshot();
   QueryRequest req = request;
-  Status st = CanonicalizeQuery(graph_.num_nodes(), &req);
-  if (!st.ok()) {
+  Status st = CanonicalizeQuery(snap->graph().num_nodes(), &req);
+  if (!st.ok() || req.op == RequestOp::kUpdate) {
+    if (st.ok()) {
+      // Direct Run() is the query path; updates go through ApplyUpdate
+      // (or the scheduler, which routes them there).
+      st = Status::InvalidArgument(
+          "update requests must be applied through the scheduler");
+    }
     QueryResult res;
     res.id = request.id;
     res.estimator = request.estimator;
     res.status = st;
     return res;
   }
-  if (req.deadline_ms == 0) return RunCanonical(req, nullptr);
+  if (req.deadline_ms == 0) return RunCanonical(*snap, req, nullptr);
   CancelToken token;
   token.TightenDeadline(Deadline::AfterMillis(req.deadline_ms));
-  return RunCanonical(req, &token);
+  return RunCanonical(*snap, req, &token);
 }
 
-QueryResult QuerySession::RunCanonical(const QueryRequest& req,
+QueryResult QuerySession::RunCanonical(const GraphSnapshot& snap,
+                                       const QueryRequest& req,
                                        const CancelToken* cancel,
                                        ShardedQuery* shard) {
   QueryResult res;
   res.id = req.id;
   res.estimator = req.estimator;
+  const Graph& graph = snap.graph();
   const uint32_t threads =
       req.num_threads != 0 ? req.num_threads : options_.default_threads;
 
@@ -135,12 +219,12 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.cancel = cancel;
       opts.wave_executor = wave_executor;
       if (req.estimator == EstimatorKind::kBcFull) {
-        SaphyraBcResult r = RunSaphyraBcFull(isp(), opts);
+        SaphyraBcResult r = RunSaphyraBcFull(snap.isp(), opts);
         res.samples_used = r.samples_used;
         mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
         ReportSubset(r.bc, req.targets, &res);
       } else {
-        SaphyraBcResult r = RunSaphyraBc(isp(), req.targets, opts);
+        SaphyraBcResult r = RunSaphyraBc(snap.isp(), req.targets, opts);
         res.samples_used = r.samples_used;
         mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
         res.nodes = req.targets;
@@ -160,9 +244,9 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.num_threads = threads;
       opts.cancel = cancel;
       std::vector<NodeId> targets =
-          req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
+          req.targets.empty() ? AllNodes(graph.num_nodes()) : req.targets;
       opts.wave_executor = wave_executor;
-      KPathProblem problem(graph_, targets, req.k);
+      KPathProblem problem(graph, targets, req.k);
       SaphyraResult r = RunSaphyra(&problem, opts);
       res.samples_used = r.samples_used;
       mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
@@ -179,9 +263,9 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.num_threads = threads;
       opts.cancel = cancel;
       std::vector<NodeId> targets =
-          req.targets.empty() ? AllNodes(graph_.num_nodes()) : req.targets;
+          req.targets.empty() ? AllNodes(graph.num_nodes()) : req.targets;
       opts.wave_executor = wave_executor;
-      HarmonicClosenessProblem problem(graph_, targets);
+      HarmonicClosenessProblem problem(graph, targets);
       problem.set_traversal(req.traversal);
       SaphyraResult r = RunSaphyra(&problem, opts);
       res.samples_used = r.samples_used;
@@ -205,7 +289,7 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.num_threads = threads;
       opts.cancel = cancel;
       opts.wave_executor = wave_executor;
-      AbraResult r = RunAbra(graph_, opts);
+      AbraResult r = RunAbra(graph, opts);
       res.samples_used = r.samples_used;
       mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
       ReportSubset(r.bc, req.targets, &res);
@@ -222,7 +306,7 @@ QueryResult QuerySession::RunCanonical(const QueryRequest& req,
       opts.num_threads = threads;
       opts.cancel = cancel;
       opts.wave_executor = wave_executor;
-      KadabraResult r = RunKadabra(graph_, opts);
+      KadabraResult r = RunKadabra(graph, opts);
       res.samples_used = r.samples_used;
       mark_degraded(r.degraded, r.degrade_reason, r.epsilon_achieved);
       ReportSubset(r.bc, req.targets, &res);

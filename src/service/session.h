@@ -12,14 +12,27 @@
 /// one (load + index once, then marginal sampling cost per query); the
 /// `serve_warm_speedup` benchmark metric measures exactly that gap.
 ///
-/// Ownership/threading: a session is built once and then immutable from
-/// the queries' point of view. Run() is safe to call from multiple
-/// threads concurrently — estimator runs only read the shared graph/index
-/// and keep their sampling scratch in per-run problem instances; the lazy
+/// Dynamic graphs. A session is a sequence of immutable epochs
+/// (GraphSnapshot): epoch 0 is the loaded graph, and each accepted
+/// {"op":"update"} produces epoch e+1 via a DeltaOverlay mutation +
+/// incremental bicomp repair (bicomp/incremental.h), then atomically
+/// publishes the new snapshot. Queries pin the snapshot current at their
+/// admission and run it to completion — snapshot isolation: an update
+/// never changes bits of an in-flight query, and a query admitted after
+/// the update sees the new epoch only. Each epoch's fingerprint chains
+/// the mutation onto the previous epoch's digest
+/// (ChainMutationFingerprint), so memo keys, the sharded tier's state
+/// cache, and the multi-graph pool all invalidate exactly the entries
+/// the mutation staled — see docs/serving.md, "Dynamic graphs".
+///
+/// Ownership/threading: Run() is safe to call from multiple threads
+/// concurrently — estimator runs only read their pinned snapshot and keep
+/// sampling scratch in per-run problem instances; each snapshot's lazy
 /// IspIndex build is guarded by std::call_once; and sample generation
 /// shares SharedThreadPool() through per-call task groups
-/// (util/thread_pool.h), so concurrent queries do not barrier on each
-/// other. Determinism: for a fixed canonicalized request, Run() returns
+/// (util/thread_pool.h). ApplyUpdate is serialized on an internal mutex
+/// and may run concurrently with queries. Determinism: for a fixed
+/// canonicalized request on a fixed epoch, Run() returns
 /// bitwise-identical estimates on every call, cold or warm, whatever the
 /// thread count — see DESIGN.md, "Serving determinism contract".
 
@@ -28,8 +41,10 @@
 #include <mutex>
 #include <string>
 
+#include "bicomp/incremental.h"
 #include "bicomp/isp.h"
 #include "graph/binary_io.h"
+#include "graph/delta_overlay.h"
 #include "graph/graph.h"
 #include "service/query.h"
 #include "util/cancel.h"
@@ -49,7 +64,76 @@ struct SessionOptions {
   /// Off by default: sessions serving only ABRA/KADABRA/k-path/closeness
   /// never need it.
   bool eager_index = false;
+  /// Incremental decomposition repair knobs for ApplyUpdate (dirty-region
+  /// budget, fallback thread count). Every setting yields the same bytes.
+  IncrementalBicompOptions repair;
+  /// Rebuild the overlay onto a clean base CSR once this many deltas
+  /// (inserted + tombstoned edges) accumulate; 0 compacts on every
+  /// update. Compaction changes no served bit — it only bounds the
+  /// overlay's merge cost per Materialize.
+  uint64_t compact_threshold = 4096;
 };
+
+/// \brief One immutable epoch of a session: the graph's CSR, its chained
+/// fingerprint, and the (lazily built) warm index, all frozen at publish
+/// time. Queries pin the snapshot current at admission via
+/// QuerySession::snapshot() and keep every read on it, so updates
+/// landing mid-query cannot change any result bit.
+class GraphSnapshot {
+ public:
+  const Graph& graph() const { return graph_; }
+  /// \brief Mutation epoch: 0 for the loaded graph, +1 per applied
+  /// update.
+  uint64_t epoch() const { return epoch_; }
+  /// \brief Epoch 0: the content digest of the loaded graph (from the
+  /// `.sgr` header when recorded, computed otherwise). Epoch e+1: the
+  /// previous epoch's fingerprint chained with the mutation
+  /// (ChainMutationFingerprint). Keys the scheduler's memo LRU and the
+  /// sharded tier's worker state, so results computed against one epoch
+  /// can never serve another.
+  uint64_t fingerprint() const { return fingerprint_; }
+  /// \brief The warm ISP index of this epoch, building it on first use
+  /// (thread-safe; epochs > 0 adopt the repaired decomposition and skip
+  /// the DFS).
+  const IspIndex& isp() const;
+  /// \brief Whether the index has been built yet (diagnostics only).
+  bool index_built() const { return isp_ != nullptr; }
+
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+ private:
+  friend class QuerySession;
+  GraphSnapshot() = default;
+
+  Graph graph_;
+  /// Decomposition waiting for the IspIndex to adopt it (epoch 0: loaded
+  /// from the `.sgr` cache when present; epoch e+1: the repaired one).
+  mutable GraphCache cache_;
+  uint64_t fingerprint_ = 0;
+  uint64_t epoch_ = 0;
+  mutable std::once_flag isp_once_;
+  mutable std::unique_ptr<IspIndex> isp_;
+};
+
+/// \brief What an applied update produced, for the wire result line and
+/// the stats.
+struct UpdateOutcome {
+  uint64_t epoch = 0;        ///< the new epoch number
+  uint64_t fingerprint = 0;  ///< the new chained fingerprint
+  bool compacted = false;    ///< the overlay rebased onto a clean CSR
+  /// Decomposition repair routing of this update (observability only;
+  /// either route yields the same bytes).
+  bool repair_fell_back = false;
+  uint64_t repair_dirty_arcs = 0;
+};
+
+/// \brief Fingerprint of epoch `epoch` obtained by applying (kind, u, v)
+/// to the epoch with fingerprint `prev`: FNV-1a over (prev, epoch, kind,
+/// min(u,v), max(u,v)). Pure and process-independent, so the supervisor
+/// can predict the post-update fingerprint its workers must reach.
+uint64_t ChainMutationFingerprint(uint64_t prev, uint64_t epoch,
+                                  EdgeMutationKind kind, NodeId u, NodeId v);
 
 /// \brief A loaded graph plus its warm per-session state, answering
 /// queries until destroyed.
@@ -64,19 +148,44 @@ class QuerySession {
   QuerySession(const QuerySession&) = delete;
   QuerySession& operator=(const QuerySession&) = delete;
 
-  const Graph& graph() const { return graph_; }
-  /// \brief Content digest of the loaded graph: from the `.sgr` header
-  /// when the cache recorded one, computed otherwise. Keys the scheduler's
-  /// memo LRU, so results cached against one graph can never serve
-  /// another.
-  uint64_t fingerprint() const { return fingerprint_; }
+  /// \brief Pin the current epoch. The returned snapshot is immutable and
+  /// outlives any concurrent update; every read a query makes must go
+  /// through one pinned snapshot (the scheduler pins at admission).
+  std::shared_ptr<const GraphSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return current_;
+  }
+
+  /// \brief Current epoch's graph. Only safe for one-shot reads (startup
+  /// logging, size checks); anything spanning waves must pin snapshot().
+  const Graph& graph() const { return snapshot()->graph(); }
+  /// \brief Current epoch's fingerprint (see GraphSnapshot::fingerprint).
+  uint64_t fingerprint() const { return snapshot()->fingerprint(); }
+  /// \brief Current mutation epoch (0 = never updated).
+  uint64_t epoch() const { return snapshot()->epoch(); }
+  /// \brief Whether any update was ever applied. A mutated session must
+  /// not be dropped to disk-reload (the pool skips evicting it): the
+  /// file still holds epoch 0.
+  bool mutated() const { return snapshot()->epoch() != 0; }
   bool loaded_from_cache() const { return loaded_from_cache_; }
   const SessionOptions& options() const { return options_; }
 
-  /// \brief The warm ISP index, building it on first use (thread-safe).
-  const IspIndex& isp();
-  /// \brief Whether the index has been built yet (diagnostics only).
-  bool index_built() const { return isp_ != nullptr; }
+  /// \brief The current epoch's warm ISP index, building it on first use
+  /// (thread-safe).
+  const IspIndex& isp() { return snapshot()->isp(); }
+  /// \brief Whether the current epoch's index has been built yet
+  /// (diagnostics only).
+  bool index_built() const { return snapshot()->index_built(); }
+
+  /// \brief Apply one edge mutation, producing and publishing the next
+  /// epoch. Serialized internally; concurrent queries keep running on
+  /// their pinned snapshots. On failure (duplicate insert, delete of a
+  /// missing edge, endpoint out of range, self loop → INVALID_ARGUMENT)
+  /// the session is unchanged. On success the new epoch's decomposition
+  /// is repaired incrementally (bicomp/incremental.h) — bitwise identical
+  /// to a from-scratch pass — and `*out`, when non-null, reports the new
+  /// epoch/fingerprint and the repair route taken.
+  Status ApplyUpdate(const EdgeMutation& mut, UpdateOutcome* out = nullptr);
 
   /// \brief Answer one query on the warm state. `req` is canonicalized
   /// internally; invalid requests come back as an error result (the
@@ -91,27 +200,40 @@ class QuerySession {
 
   QuerySession() = default;
 
-  /// \brief Run() minus validation: `req` must already be canonical. The
-  /// scheduler canonicalizes once to derive the cache key and enters
-  /// here, instead of paying a second copy + sort/dedup pass per query —
-  /// and owns the cancel token (deadline measured from admission, chained
-  /// to the server-wide shutdown token). `cancel` may be null; borrowed
-  /// for the duration of the call. `shard` non-null routes every sample
-  /// wave to the sharded worker tier (service/shard.h) instead of drawing
+  /// \brief Run() minus validation: `req` must already be canonical and
+  /// `snap` is the epoch the caller pinned at admission (all graph/index
+  /// reads go through it — snapshot isolation). The scheduler
+  /// canonicalizes once to derive the cache key and enters here, instead
+  /// of paying a second copy + sort/dedup pass per query — and owns the
+  /// cancel token (deadline measured from admission, chained to the
+  /// server-wide shutdown token). `cancel` may be null; borrowed for the
+  /// duration of the call. `shard` non-null routes every sample wave to
+  /// the sharded worker tier (service/shard.h) instead of drawing
   /// locally; results are bitwise identical either way, and a shard that
   /// stays lost past the retry budget degrades the result
   /// (degrade_reason = kUnavailable) rather than erroring.
-  QueryResult RunCanonical(const QueryRequest& req, const CancelToken* cancel,
+  QueryResult RunCanonical(const GraphSnapshot& snap, const QueryRequest& req,
+                           const CancelToken* cancel,
                            ShardedQuery* shard = nullptr);
 
   SessionOptions options_;
-  Graph graph_;
-  /// Holds the persisted decomposition until the IspIndex adopts it.
-  GraphCache cache_;
-  uint64_t fingerprint_ = 0;
   bool loaded_from_cache_ = false;
-  std::once_flag isp_once_;
-  std::unique_ptr<IspIndex> isp_;
+
+  /// Guards current_ (publish/pin). Updates hold update_mu_ as well;
+  /// queries only ever take this one, briefly, inside snapshot().
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const GraphSnapshot> current_;
+
+  /// Serializes ApplyUpdate: overlay state below is only touched under
+  /// it. Ordered before epoch_mu_ (ApplyUpdate publishes while holding
+  /// it); nothing acquires them the other way around.
+  std::mutex update_mu_;
+  /// Mutation overlay over overlay_base_'s CSR; created on the first
+  /// update, rebased onto the newest epoch at compaction.
+  std::unique_ptr<DeltaOverlay> overlay_;
+  /// Keeps the overlay's base epoch alive: the overlay borrows that
+  /// snapshot's Graph, which epoch churn could otherwise free.
+  std::shared_ptr<const GraphSnapshot> overlay_base_;
 };
 
 }  // namespace saphyra

@@ -97,8 +97,17 @@ void SessionPool::PublishLocked(Entry* e,
   ++e->loads;
   if (options_.max_graphs == 0) return;
   while (lru_.size() > options_.max_graphs) {
-    Entry* victim = lru_.back();
-    lru_.pop_back();
+    // Least-recently-acquired evictable entry: mutated sessions are
+    // never victims — a reload would come back as epoch 0 from disk and
+    // silently drop every applied update. If everything resident is
+    // mutated, the pool runs over its cap rather than lose mutations.
+    auto victim_pos = lru_.end();
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (!(*it)->session->mutated()) victim_pos = it;
+    }
+    if (victim_pos == lru_.end()) break;
+    Entry* victim = *victim_pos;
+    lru_.erase(victim_pos);
     victim->lru_pos = lru_.end();
     // Only the pool's reference is dropped: queries holding an Acquire
     // handle keep the evicted session alive until they finish.

@@ -195,7 +195,83 @@ Status WorkerSupervisor::EnsureAliveLocked(uint32_t index, Worker* w,
   w->alive_gauge.store(true, std::memory_order_relaxed);
   w->consecutive_failures = 0;
   if (!first_launch) w->restarts.fetch_add(1, std::memory_order_relaxed);
+
+  // A fresh incarnation loaded its graphs from disk — epoch 0. Replay the
+  // full mutation log before this worker serves a wave, or its
+  // fingerprints (and result bits) would lag the coordinator's graphs.
+  std::vector<MutationLogEntry> log;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log = mutation_log_;
+  }
+  for (const MutationLogEntry& entry : log) {
+    st = UpdateRpc(index, w, entry);
+    if (!st.ok()) {
+      MarkDeadLocked(w);
+      return Status::Unavailable("worker " + std::to_string(index) +
+                                 " failed mutation-log replay: " +
+                                 st.ToString());
+    }
+  }
   return Status::OK();
+}
+
+Status WorkerSupervisor::UpdateRpc(uint32_t index, Worker* w,
+                                   const MutationLogEntry& entry) {
+  const Deadline deadline = Deadline::AfterMillis(options_.rpc_timeout_ms);
+  std::string msg =
+      "{\"type\":\"update\",\"graph\":" + JsonQuote(entry.graph) +
+      ",\"action\":";
+  msg += entry.mut.kind == EdgeMutationKind::kInsert ? "\"insert\""
+                                                     : "\"delete\"";
+  msg += ",\"u\":" + std::to_string(entry.mut.u) +
+         ",\"v\":" + std::to_string(entry.mut.v) +
+         ",\"fingerprint\":" + std::to_string(entry.expect_fingerprint) + "}";
+  Status st = net::SendFrame(w->conn.get(), msg, deadline);
+  std::string reply;
+  if (st.ok()) st = net::RecvFrame(w->conn.get(), &reply, deadline);
+  if (!st.ok()) return st;
+  JsonValue doc;
+  st = ParseJson(reply, &doc);
+  const JsonValue* ok = st.ok() ? doc.Find("ok") : nullptr;
+  if (!st.ok() || ok == nullptr || ok->type != JsonValue::Type::kBool) {
+    return Status::Internal("worker " + std::to_string(index) +
+                            " sent a malformed update reply");
+  }
+  if (!ok->bool_value) {
+    const JsonValue* error = doc.Find("error");
+    return Status::Internal(
+        "worker " + std::to_string(index) + " rejected update: " +
+        (error != nullptr && error->type == JsonValue::Type::kString
+             ? error->string_value
+             : "unknown error"));
+  }
+  return Status::OK();
+}
+
+void WorkerSupervisor::BroadcastUpdate(const std::string& graph,
+                                       const EdgeMutation& mut,
+                                       uint64_t expect_fingerprint) {
+  MutationLogEntry entry;
+  entry.graph = graph;
+  entry.mut = mut;
+  entry.expect_fingerprint = expect_fingerprint;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    mutation_log_.push_back(entry);
+  }
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    Worker* w = workers_[i].get();
+    std::lock_guard<std::mutex> lock(w->mu);
+    const bool was_alive = w->alive;
+    Status st = EnsureAliveLocked(i, w, /*first_launch=*/false);
+    // Dead and backing off: fine — the restart replays the log, which
+    // already holds this entry. A relaunch inside EnsureAliveLocked also
+    // replayed it; only a worker that was already up needs the push.
+    if (!st.ok() || !was_alive) continue;
+    st = UpdateRpc(i, w, entry);
+    if (!st.ok()) MarkDeadLocked(w);
+  }
 }
 
 Status WorkerSupervisor::WaveRpc(uint32_t index, const WaveSpec& spec,

@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "bicomp/incremental.h"
 #include "core/sample_engine.h"
 #include "net/socket.h"
 #include "util/cancel.h"
@@ -145,6 +146,22 @@ class WorkerSupervisor {
   /// CANCELLED when that fires first. Thread-safe.
   Status ExecuteWave(const WaveSpec& spec, RawSampleDelta* out);
 
+  /// \brief Propagate one applied graph mutation to the worker tier.
+  ///
+  /// The coordinator has already applied the mutation locally and chained
+  /// the graph's fingerprint to `expect_fingerprint`; the caller (the
+  /// scheduler's update path) serializes broadcasts, so workers observe
+  /// mutations in epoch order. The entry is appended to a durable
+  /// mutation log first, then pushed to every live worker best-effort: a
+  /// worker that fails the push is marked dead, and EnsureAliveLocked
+  /// replays the *whole* log into every new incarnation before it serves
+  /// a wave — so a restarted worker rejoins at the coordinator's epoch,
+  /// never at the stale on-disk graph. Workers treat a replayed entry
+  /// whose fingerprint they already reached as a no-op, which makes the
+  /// push + replay pair idempotent.
+  void BroadcastUpdate(const std::string& graph, const EdgeMutation& mut,
+                       uint64_t expect_fingerprint);
+
   uint32_t num_workers() const { return options_.num_workers; }
   std::vector<ShardWorkerStats> stats() const;
 
@@ -168,8 +185,19 @@ class WorkerSupervisor {
     std::atomic<uint64_t> heartbeat_misses{0};
   };
 
-  /// Restart `w` if dead and its backoff window has passed. Caller holds
-  /// w->mu. `first_launch` suppresses the restart counter during Start().
+  /// One logged mutation, in broadcast order across ALL graphs: replay
+  /// must preserve the relative order of a graph's entries or the
+  /// fingerprint chain diverges.
+  struct MutationLogEntry {
+    std::string graph;
+    EdgeMutation mut;
+    uint64_t expect_fingerprint = 0;
+  };
+
+  /// Restart `w` if dead and its backoff window has passed, replaying the
+  /// mutation log into the fresh incarnation before declaring it alive.
+  /// Caller holds w->mu. `first_launch` suppresses the restart counter
+  /// during Start().
   Status EnsureAliveLocked(uint32_t index, Worker* w, bool first_launch);
   /// Drop the connection and arm the restart backoff. Caller holds w->mu.
   void MarkDeadLocked(Worker* w);
@@ -180,6 +208,10 @@ class WorkerSupervisor {
   Status WaveRpc(uint32_t index, const WaveSpec& spec,
                  const std::vector<uint32_t>& stripes, RawSampleDelta* delta,
                  bool* worker_fault);
+  /// One update RPC on `w`'s connection (caller holds w->mu and has a
+  /// live connection). Verifies the worker landed on the expected
+  /// fingerprint; any failure is the caller's cue to MarkDeadLocked.
+  Status UpdateRpc(uint32_t index, Worker* w, const MutationLogEntry& entry);
   void HeartbeatLoop();
 
   WorkerLauncher* launcher_;
@@ -188,6 +220,14 @@ class WorkerSupervisor {
 
   std::mutex backoff_mu_;
   Rng backoff_rng_;  ///< fixed-seed jitter source (guarded by backoff_mu_)
+
+  /// Every broadcast mutation since startup, in order. Guarded by
+  /// log_mu_, which nests INSIDE a worker's mu (EnsureAliveLocked
+  /// snapshots the log while holding w->mu); BroadcastUpdate appends
+  /// before touching any worker, so a restart racing a broadcast replays
+  /// a superset — harmless, replay is idempotent.
+  std::mutex log_mu_;
+  std::vector<MutationLogEntry> mutation_log_;
 
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;

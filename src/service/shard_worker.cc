@@ -51,10 +51,14 @@ struct OrdinalState {
   size_t num_stripes = 0;
 };
 
-/// Cached per-(graph, canonical query) sampling state.
+/// Cached per-(graph, fingerprint, canonical query) sampling state.
 struct QueryState {
-  std::shared_ptr<QuerySession> session;  ///< pins the graph
-  QueryRequest req;                       ///< canonical
+  std::shared_ptr<QuerySession> session;  ///< pins the pool entry
+  /// Pins the exact epoch the state was built against: a concurrent
+  /// update swaps the session's current snapshot, but this state's
+  /// problem keeps reading the graph/index it was built from.
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  QueryRequest req;  ///< canonical
   std::unique_ptr<HypothesisRankingProblem> problem;
   OrdinalState ordinals[2];
 };
@@ -98,17 +102,18 @@ Status BuildQueryState(SessionPool* pool, const std::string& graph,
                        std::unique_ptr<QueryState>* out) {
   auto state = std::make_unique<QueryState>();
   SAPHYRA_RETURN_NOT_OK(pool->Acquire(graph, &state->session));
-  if (state->session->fingerprint() != fingerprint) {
+  state->snapshot = state->session->snapshot();
+  if (state->snapshot->fingerprint() != fingerprint) {
     return Status::FailedPrecondition(
         "graph fingerprint mismatch: worker serves " +
-        std::to_string(state->session->fingerprint()) +
+        std::to_string(state->snapshot->fingerprint()) +
         ", coordinator expects " + std::to_string(fingerprint));
   }
   SAPHYRA_RETURN_NOT_OK(ParseQueryRequest(query_json, &state->req));
   SAPHYRA_RETURN_NOT_OK(CanonicalizeQuery(
-      state->session->graph().num_nodes(), &state->req));
+      state->snapshot->graph().num_nodes(), &state->req));
 
-  const Graph& g = state->session->graph();
+  const Graph& g = state->snapshot->graph();
   const QueryRequest& req = state->req;
   switch (req.estimator) {
     case EstimatorKind::kBc:
@@ -119,7 +124,7 @@ Status BuildQueryState(SessionPool* pool, const std::string& graph,
       const std::vector<NodeId> targets =
           req.estimator == EstimatorKind::kBcFull ? AllNodes(g.num_nodes())
                                                   : req.targets;
-      state->problem = MakeSaphyraBcSamplingProblem(state->session->isp(),
+      state->problem = MakeSaphyraBcSamplingProblem(state->snapshot->isp(),
                                                     targets, opts);
       break;
     }
@@ -158,7 +163,12 @@ class StateCache {
   Status GetOrCreate(SessionPool* pool, const std::string& graph,
                      uint64_t fingerprint, const std::string& query_json,
                      QueryState** out) {
-    const std::string key = graph + '\0' + query_json;
+    // The fingerprint is part of the key, not just an assertion: after an
+    // update bumps a graph's epoch, waves arrive with the chained
+    // fingerprint and MUST miss the pre-update state (whose engines hold
+    // the old snapshot). Stale entries age out of the LRU.
+    const std::string key =
+        graph + '\0' + std::to_string(fingerprint) + '\0' + query_json;
     auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -300,6 +310,58 @@ Status HandleWave(const JsonValue& doc, SessionPool* pool, StateCache* cache,
   return Status::OK();
 }
 
+/// Apply one coordinator-pushed mutation (or its idempotent replay) to
+/// the named graph. The coordinator tells us the fingerprint its own
+/// apply chained to; landing anywhere else means the tiers diverged and
+/// the reply error gets this incarnation restarted.
+Status HandleUpdate(const JsonValue& doc, SessionPool* pool,
+                    std::string* reply) {
+  const JsonValue* graph_v = doc.Find("graph");
+  const JsonValue* action_v = doc.Find("action");
+  if (graph_v == nullptr || graph_v->type != JsonValue::Type::kString ||
+      action_v == nullptr || action_v->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("update message is malformed");
+  }
+  EdgeMutation mut;
+  if (action_v->string_value == "insert") {
+    mut.kind = EdgeMutationKind::kInsert;
+  } else if (action_v->string_value == "delete") {
+    mut.kind = EdgeMutationKind::kDelete;
+  } else {
+    return Status::InvalidArgument("update action must be insert or delete");
+  }
+  uint64_t u = 0, v = 0, expect_fp = 0;
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "u", &u));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "v", &v));
+  SAPHYRA_RETURN_NOT_OK(GetUintField(doc, "fingerprint", &expect_fp));
+  mut.u = static_cast<NodeId>(u);
+  mut.v = static_cast<NodeId>(v);
+
+  std::shared_ptr<QuerySession> session;
+  SAPHYRA_RETURN_NOT_OK(pool->Acquire(graph_v->string_value, &session));
+  if (session->fingerprint() == expect_fp) {
+    // Already there: the supervisor's log replay overlapped a direct
+    // push. Applying again would double-mutate, so this is the no-op the
+    // idempotency contract promises.
+    *reply = "{\"ok\":true,\"type\":\"updated\",\"epoch\":" +
+             std::to_string(session->epoch()) +
+             ",\"fingerprint\":" + std::to_string(expect_fp) + "}";
+    return Status::OK();
+  }
+  UpdateOutcome outcome;
+  SAPHYRA_RETURN_NOT_OK(session->ApplyUpdate(mut, &outcome));
+  if (outcome.fingerprint != expect_fp) {
+    return Status::Internal(
+        "update fingerprint divergence: worker chained to " +
+        std::to_string(outcome.fingerprint) + ", coordinator expects " +
+        std::to_string(expect_fp));
+  }
+  *reply = "{\"ok\":true,\"type\":\"updated\",\"epoch\":" +
+           std::to_string(outcome.epoch) +
+           ",\"fingerprint\":" + std::to_string(outcome.fingerprint) + "}";
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunWorkerLoop(int fd, SessionPool* pool,
@@ -353,6 +415,27 @@ Status RunWorkerLoop(int fd, SessionPool* pool,
         reply = "{\"ok\":false,\"code\":\"";
         reply += StatusCodeWireName(wave.code());
         reply += "\",\"error\":" + JsonQuote(wave.ToString()) + "}";
+      }
+    } else if (kind == "update") {
+      // Same crash-simulation hook as waves: an injected throw drops the
+      // connection mid-update, and the supervisor's mutation-log replay
+      // brings the restarted incarnation back to the right epoch.
+      try {
+        fail::MaybeFault("worker.update");
+      } catch (const fail::InjectedFault& fault) {
+        return Status::Internal(fault.what());
+      }
+      Status up = Status::OK();
+      try {
+        up = HandleUpdate(doc, pool, &reply);
+      } catch (const std::exception& e) {
+        up = Status::Internal(std::string("update execution threw: ") +
+                              e.what());
+      }
+      if (!up.ok()) {
+        reply = "{\"ok\":false,\"code\":\"";
+        reply += StatusCodeWireName(up.code());
+        reply += "\",\"error\":" + JsonQuote(up.ToString()) + "}";
       }
     } else {
       reply =

@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -13,6 +14,8 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -676,6 +679,249 @@ TEST(BatchSchedulerTest, BatchDedupsDuplicates) {
   const SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.computed, 1u);
   EXPECT_EQ(stats.dedup_hits + stats.memo_hits, 5u);
+}
+
+QueryRequest UpdateReq(EdgeMutationKind kind, NodeId u, NodeId v,
+                       const std::string& graph = "") {
+  QueryRequest req;
+  req.id = "mut";
+  req.op = RequestOp::kUpdate;
+  req.action = kind;
+  req.edge_u = u;
+  req.edge_v = v;
+  req.graph = graph;
+  return req;
+}
+
+bool HasEdge(const Graph& g, NodeId u, NodeId v) {
+  const auto nbrs = g.neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+/// Smallest (u, v), u < v, absent from `g` — a always-valid insert.
+std::pair<NodeId, NodeId> FindAbsentEdge(const Graph& g) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (!HasEdge(g, u, v)) return {u, v};
+    }
+  }
+  SAPHYRA_CHECK(false && "graph is complete");
+  return {0, 0};
+}
+
+TEST(BatchSchedulerTest, UpdatesRequireOptIn) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  BatchScheduler scheduler(session.get(), SchedulerOptions());  // default off
+
+  const auto [u, v] = FindAbsentEdge(session->graph());
+  const QueryResult res =
+      scheduler.Run(UpdateReq(EdgeMutationKind::kInsert, u, v));
+  EXPECT_EQ(res.status.code(), StatusCode::kFailedPrecondition)
+      << res.status.ToString();
+  EXPECT_EQ(scheduler.stats().updates, 0u);
+  EXPECT_EQ(session->epoch(), 0u);  // the session was never touched
+}
+
+TEST(BatchSchedulerTest, UpdateInvalidatesMemoForExactlyTheMutatedGraph) {
+  GraphFiles a(PaperFig2Graph());
+  GraphFiles b(RandomConnectedGraph(30, 0.15, 5), "graph_b.txt");
+  SessionPool pool(SessionPoolOptions{});
+  ASSERT_TRUE(pool.Register("a", a.sgr_path).ok());
+  ASSERT_TRUE(pool.Register("b", b.sgr_path).ok());
+  SchedulerOptions opts;
+  opts.allow_updates = true;
+  BatchScheduler scheduler(&pool, opts);
+
+  QueryRequest req;
+  req.estimator = EstimatorKind::kCloseness;
+  req.targets = {0, 1, 2};
+  req.graph = "a";
+  const QueryResult pre = scheduler.Run(req);
+  ASSERT_TRUE(pre.status.ok());
+  req.graph = "b";
+  ASSERT_TRUE(scheduler.Run(req).status.ok());
+  req.graph = "a";
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);
+  req.graph = "b";
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);
+
+  // Mutate graph a only.
+  std::shared_ptr<QuerySession> sa;
+  ASSERT_TRUE(pool.Acquire("a", &sa).ok());
+  const auto [u, v] = FindAbsentEdge(sa->graph());
+  const QueryResult mut =
+      scheduler.Run(UpdateReq(EdgeMutationKind::kInsert, u, v, "a"));
+  ASSERT_TRUE(mut.status.ok()) << mut.status.ToString();
+  EXPECT_EQ(mut.epoch, 1u);
+  EXPECT_EQ(scheduler.stats().updates, 1u);
+
+  // The memoized pre-update answer for a must never be served again: the
+  // chained fingerprint moved, so the same canonical query recomputes.
+  req.graph = "a";
+  const QueryResult post = scheduler.Run(req);
+  ASSERT_TRUE(post.status.ok());
+  EXPECT_EQ(post.mode, ServeMode::kComputed);
+  // ... while graph b, untouched, keeps serving from its memo entry.
+  req.graph = "b";
+  EXPECT_EQ(scheduler.Run(req).mode, ServeMode::kMemoized);
+  // The post-update entry memoizes under the new fingerprint.
+  req.graph = "a";
+  const QueryResult again = scheduler.Run(req);
+  EXPECT_EQ(again.mode, ServeMode::kMemoized);
+  ASSERT_EQ(post.estimates.size(), again.estimates.size());
+  EXPECT_EQ(std::memcmp(post.estimates.data(), again.estimates.data(),
+                        post.estimates.size() * sizeof(double)),
+            0);
+}
+
+TEST(BatchSchedulerTest, UpdateRejectionsLeaveTheEpochAlone) {
+  GraphFiles files(PaperFig2Graph());
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  SchedulerOptions opts;
+  opts.allow_updates = true;
+  BatchScheduler scheduler(session.get(), opts);
+
+  const Graph& g = session->graph();
+  const NodeId n = g.num_nodes();
+  const NodeId pu = 0;
+  const NodeId pv = g.neighbors(0).front();  // a present edge
+  const auto [au, av] = FindAbsentEdge(g);
+
+  // Duplicate insert, delete of an absent edge, self loop, out-of-range
+  // endpoint: all INVALID_ARGUMENT, none may bump the epoch.
+  for (const QueryRequest& bad :
+       {UpdateReq(EdgeMutationKind::kInsert, pu, pv),
+        UpdateReq(EdgeMutationKind::kDelete, au, av),
+        UpdateReq(EdgeMutationKind::kInsert, 3, 3),
+        UpdateReq(EdgeMutationKind::kDelete, 0, n)}) {
+    const QueryResult res = scheduler.Run(bad);
+    EXPECT_EQ(res.status.code(), StatusCode::kInvalidArgument)
+        << res.status.ToString();
+  }
+  EXPECT_EQ(session->epoch(), 0u);
+  EXPECT_EQ(scheduler.stats().updates, 0u);
+  EXPECT_EQ(scheduler.stats().errors, 4u);
+
+  // And the same endpoints in a *valid* mutation still go through.
+  const QueryResult ok =
+      scheduler.Run(UpdateReq(EdgeMutationKind::kInsert, au, av));
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.epoch, 1u);
+  EXPECT_EQ(session->epoch(), 1u);
+}
+
+TEST(BatchSchedulerTest, SnapshotIsolationUnderConcurrentUpdates) {
+  GraphFiles files(RandomConnectedGraph(36, 0.12, 21));
+
+  // Pick four inserts that are all absent from the base graph and
+  // pairwise distinct; applied in order they define epochs 1..4.
+  std::vector<std::pair<NodeId, NodeId>> inserts;
+  {
+    std::unique_ptr<QuerySession> probe;
+    ASSERT_TRUE(
+        QuerySession::Open(files.sgr_path, SessionOptions(), &probe).ok());
+    const Graph& g = probe->graph();
+    for (NodeId u = 0; u < g.num_nodes() && inserts.size() < 4; ++u) {
+      for (NodeId v = u + 1; v < g.num_nodes() && inserts.size() < 4; ++v) {
+        if (!HasEdge(g, u, v)) inserts.push_back({u, v});
+      }
+    }
+    ASSERT_EQ(inserts.size(), 4u);
+  }
+
+  QueryRequest query;
+  query.estimator = EstimatorKind::kBc;
+  query.epsilon = 0.2;
+  query.seed = 3;
+  query.targets = {0, 1, 2, 3, 4, 5};
+
+  // The per-epoch reference bytes: a cold session per prefix of the
+  // mutation stream, served serial and memo-free.
+  std::vector<std::vector<double>> expected;
+  for (size_t e = 0; e <= inserts.size(); ++e) {
+    std::unique_ptr<QuerySession> session;
+    ASSERT_TRUE(
+        QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+    for (size_t i = 0; i < e; ++i) {
+      ASSERT_TRUE(session
+                      ->ApplyUpdate({EdgeMutationKind::kInsert,
+                                     inserts[i].first, inserts[i].second})
+                      .ok());
+    }
+    SchedulerOptions oracle_opts;
+    oracle_opts.memo_capacity = 0;
+    BatchScheduler oracle(session.get(), oracle_opts);
+    const QueryResult res = oracle.Run(query);
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+    expected.push_back(res.estimates);
+  }
+
+  // Interleave: 8 query threads hammer the scheduler while the main
+  // thread applies the stream. Every answer must be bitwise identical to
+  // one of the five epoch references — a query whose snapshot were
+  // swapped out from under it mid-flight would match none of them.
+  std::unique_ptr<QuerySession> session;
+  ASSERT_TRUE(
+      QuerySession::Open(files.sgr_path, SessionOptions(), &session).ok());
+  SchedulerOptions opts;
+  opts.max_concurrent = 8;
+  opts.memo_capacity = 16;
+  opts.allow_updates = true;
+  BatchScheduler scheduler(session.get(), opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 6;
+  std::vector<std::vector<std::vector<double>>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&scheduler, &seen, &query, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        QueryResult res = scheduler.Run(query);
+        SAPHYRA_CHECK(res.status.ok());
+        seen[t].push_back(std::move(res.estimates));
+      }
+    });
+  }
+  for (const auto& [u, v] : inserts) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const QueryResult res =
+        scheduler.Run(UpdateReq(EdgeMutationKind::kInsert, u, v));
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+  }
+  for (std::thread& t : threads) t.join();
+
+  auto matches_epoch = [&expected](const std::vector<double>& got) {
+    for (const std::vector<double>& ref : expected) {
+      if (ref.size() == got.size() &&
+          std::memcmp(ref.data(), got.data(), ref.size() * sizeof(double)) ==
+              0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < seen[t].size(); ++i) {
+      EXPECT_TRUE(matches_epoch(seen[t][i]))
+          << "thread " << t << " iteration " << i
+          << ": result matches no epoch's reference bytes";
+    }
+  }
+
+  // Once the stream has fully drained, only the final epoch may answer.
+  const QueryResult settled = scheduler.Run(query);
+  ASSERT_TRUE(settled.status.ok());
+  ASSERT_EQ(settled.estimates.size(), expected.back().size());
+  EXPECT_EQ(std::memcmp(settled.estimates.data(), expected.back().data(),
+                        expected.back().size() * sizeof(double)),
+            0);
+  EXPECT_EQ(session->epoch(), inserts.size());
 }
 
 TEST(SerializeQueryResultTest, Shapes) {

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -287,6 +288,67 @@ TEST_F(ShardTest, ShardedMatchesLocalBitwise) {
     EXPECT_GT(waves, 0u) << "workers=" << workers;
     supervisor.Shutdown();
   }
+}
+
+TEST_F(ShardTest, WorkerStateCacheInvalidatedByUpdate) {
+  // The workers key their per-query progressive-sampling state on
+  // (graph, fingerprint, canonical query). Repeating a query must reuse
+  // that state invisibly; a graph mutation must retire it, never blending
+  // pre-update wave state into post-update answers.
+  ThreadLauncher launcher(files_.sgr_path);
+  WorkerSupervisor supervisor(&launcher, FastOptions(2));
+  ASSERT_TRUE(supervisor.Start().ok());
+  SchedulerOptions opts;
+  opts.memo_capacity = 0;  // every repeat re-enters the wave path
+  opts.allow_updates = true;
+  opts.supervisor = &supervisor;
+  BatchScheduler scheduler(session_.get(), opts);
+
+  const QueryRequest query = ShardWorkload()[0];  // bc
+  const QueryResult r1 = scheduler.Run(query);
+  const QueryResult r2 = scheduler.Run(query);  // hits worker state cache
+  ExpectBitwiseEqual(r1, r2, "pre-update repeat");
+
+  // An insert absent from the base graph; the scheduler broadcasts it to
+  // both workers before answering.
+  const Graph& g = session_->graph();
+  NodeId au = 0, av = 0;
+  for (NodeId u = 0; u < g.num_nodes() && av == 0; ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      const auto nbrs = g.neighbors(u);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), v)) {
+        au = u;
+        av = v;
+        break;
+      }
+    }
+  }
+  QueryRequest mut;
+  mut.op = RequestOp::kUpdate;
+  mut.action = EdgeMutationKind::kInsert;
+  mut.edge_u = au;
+  mut.edge_v = av;
+  const QueryResult applied = scheduler.Run(mut);
+  ASSERT_TRUE(applied.status.ok()) << applied.status.ToString();
+  ASSERT_EQ(applied.epoch, 1u);
+
+  // The reference: the same mutation applied to a cold local session.
+  std::unique_ptr<QuerySession> oracle_session;
+  ASSERT_TRUE(QuerySession::Open(files_.sgr_path, SessionOptions(),
+                                 &oracle_session)
+                  .ok());
+  ASSERT_TRUE(
+      oracle_session->ApplyUpdate({EdgeMutationKind::kInsert, au, av}).ok());
+  SchedulerOptions oracle_opts;
+  oracle_opts.memo_capacity = 0;
+  BatchScheduler oracle(oracle_session.get(), oracle_opts);
+  const QueryResult expected = oracle.Run(query);
+
+  const QueryResult r3 = scheduler.Run(query);
+  ExpectBitwiseEqual(expected, r3, "post-update recompute");
+  const QueryResult r4 = scheduler.Run(query);  // post-update cached state
+  ExpectBitwiseEqual(expected, r4, "post-update repeat");
+  supervisor.Shutdown();
 }
 
 TEST_F(ShardTest, WorkerKilledBetweenQueriesRecoversBitwise) {

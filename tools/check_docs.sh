@@ -159,6 +159,29 @@ else
     echo "check_docs: docs/serving.md lost the 'Sharded serving' section" >&2
     fail=1
   fi
+  # Dynamic graphs: the mutation flags must stay parsed AND explained in
+  # serving.md, the section itself must survive, and the update wire
+  # fields must stay documented (clients build requests from this page).
+  for flag in --allow-updates --compact-threshold; do
+    if ! grep -qF -- "\"$flag\"" "$REPO_ROOT/tools/saphyra_serve.cc"; then
+      echo "check_docs: tools/saphyra_serve.cc no longer parses $flag" >&2
+      fail=1
+    fi
+    if ! grep -qF -- "$flag" "$serving_doc"; then
+      echo "check_docs: docs/serving.md no longer documents $flag" >&2
+      fail=1
+    fi
+  done
+  if ! grep -qF "Dynamic graphs" "$serving_doc"; then
+    echo "check_docs: docs/serving.md lost the 'Dynamic graphs' section" >&2
+    fail=1
+  fi
+  for field in '"op"' '"action"' '"edge"' '"epoch"' '"fingerprint"'; do
+    if ! grep -qF -- "$field" "$serving_doc"; then
+      echo "check_docs: docs/serving.md update schema is missing the $field field" >&2
+      fail=1
+    fi
+  done
   for code in INVALID_ARGUMENT DEADLINE_EXCEEDED RESOURCE_EXHAUSTED \
               CANCELLED INTERNAL UNAVAILABLE; do
     if ! grep -qF "\"$code\"" "$REPO_ROOT/src/util/status.cc"; then

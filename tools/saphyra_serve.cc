@@ -41,6 +41,10 @@
 //                                         a query degrades, default 2)
 //                 [--heartbeat-ms H]     (worker health-check period,
 //                                         0 = off, default 1000)
+//                 [--allow-updates]      (accept {"op":"update"} mutation
+//                                         requests; off = FAILED_PRECONDITION)
+//                 [--compact-threshold C] (overlay edges before compacting
+//                                          onto a clean CSR, default 4096)
 //                 [--no-cache] [--output FILE] [--stats-json FILE]
 //
 // Request lines (see docs/serving.md for the full schema):
@@ -130,6 +134,8 @@ struct Args {
   std::string shard_socket;
   uint32_t retry_budget = 2;
   uint64_t heartbeat_ms = 1000;
+  bool allow_updates = false;
+  uint64_t compact_threshold = 4096;
   bool no_cache = false;
   std::string output;
   std::string stats_json;
@@ -184,7 +190,7 @@ void Usage(const char* argv0) {
       "          [--memo-capacity M] [--memo-capacity-bytes B] [--repeat R]\n"
       "          [--default-deadline-ms D] [--max-queue Q] [--drain-ms D]\n"
       "          [--workers N] [--shard-socket SPEC] [--retry-budget R]\n"
-      "          [--heartbeat-ms H]\n"
+      "          [--heartbeat-ms H] [--allow-updates] [--compact-threshold C]\n"
       "          [--no-cache] [--output FILE] [--stats-json FILE]\n",
       argv0);
 }
@@ -201,6 +207,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->no_cache = true;
     } else if (key == "--preload") {
       args->preload = true;
+    } else if (key == "--allow-updates") {
+      args->allow_updates = true;
+    } else if (key == "--compact-threshold" && (val = next())) {
+      args->compact_threshold = std::strtoull(val, nullptr, 10);
     } else if (key == "--graph" && (val = next())) {
       // NAME=PATH, or a bare PATH registered under its own spelling (the
       // single-graph invocation everyone already has in scripts).
@@ -292,6 +302,7 @@ int main(int argc, char** argv) {
   popts.session.load.format = args.format;
   popts.session.load.use_cache = !args.no_cache;
   popts.session.default_threads = std::max(1u, args.threads);
+  popts.session.compact_threshold = args.compact_threshold;
   popts.max_graphs = args.max_graphs;
   SessionPool pool(popts);
   for (const auto& [name, path] : args.graphs) {
@@ -410,6 +421,8 @@ int main(int argc, char** argv) {
     lopts.extra_args.push_back("--max-graphs");
     lopts.extra_args.push_back(std::to_string(args.max_graphs));
     if (args.no_cache) lopts.extra_args.push_back("--no-cache");
+    lopts.extra_args.push_back("--compact-threshold");
+    lopts.extra_args.push_back(std::to_string(args.compact_threshold));
     launcher = std::make_unique<ProcessWorkerLauncher>(std::move(lopts));
 
     ShardOptions sopts;
@@ -436,6 +449,7 @@ int main(int argc, char** argv) {
   schopts.max_queue = args.max_queue;
   schopts.server_cancel = &ServerToken();
   schopts.supervisor = supervisor.get();
+  schopts.allow_updates = args.allow_updates;
   BatchScheduler scheduler(&pool, schopts);
 
   std::ofstream file_out;
@@ -501,11 +515,12 @@ int main(int argc, char** argv) {
       stats.errors + parse_errors.size() * passes_served;
   std::fprintf(stderr,
                "served %llu queries in %s (%.1f q/s): %llu computed, "
-               "%llu memo, %llu dedup, %llu error, %llu degraded, "
-               "%llu shed, %llu cancelled; max query %s\n",
+               "%llu updates, %llu memo, %llu dedup, %llu error, "
+               "%llu degraded, %llu shed, %llu cancelled; max query %s\n",
                static_cast<unsigned long long>(answered),
                FormatDuration(serve_seconds).c_str(), qps,
                static_cast<unsigned long long>(stats.computed),
+               static_cast<unsigned long long>(stats.updates),
                static_cast<unsigned long long>(stats.memo_hits),
                static_cast<unsigned long long>(stats.dedup_hits),
                static_cast<unsigned long long>(invalid),
@@ -549,6 +564,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     sj << "{\"queries\":" << answered << ",\"computed\":" << stats.computed
+       << ",\"updates\":" << stats.updates
        << ",\"memo_hits\":" << stats.memo_hits
        << ",\"dedup_hits\":" << stats.dedup_hits
        << ",\"invalid\":" << invalid
